@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Design-choice ablations (DESIGN.md §5):
+ *  A1 clamp-floor sweep — how the minHint floor trades IPC for power;
+ *  A2 bank granularity — 5x16 / 10x8 / 20x4 bank splits;
+ *  A3 redundant-hint elision on/off (NOOP-count and IPC effect);
+ *  A4 the Folegnani&González resizer next to ours and abella.
+ * Run on a three-benchmark subset to keep the binary quick.
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace siq;
+
+const std::vector<std::string> subset = {"gzip", "vortex", "mcf"};
+
+sim::RunConfig
+quickCfg()
+{
+    sim::RunConfig cfg;
+    cfg.warmupInsts = bench::envOr("SIQSIM_WARMUP", 80000);
+    cfg.measureInsts = bench::envOr("SIQSIM_MEASURE", 250000);
+    return cfg;
+}
+
+void
+clampSweep()
+{
+    bench::header("A1: hint clamp floor sweep",
+                  "larger floors trade power savings for IPC safety");
+    Table t({"benchmark", "floor", "IPC loss", "IQ dyn saving"});
+    for (const auto &name : subset) {
+        auto cfg = quickCfg();
+        cfg.tech = sim::Technique::Baseline;
+        const auto base = sim::runOne(name, cfg);
+        for (int floor : {4, 8, 12, 16}) {
+            cfg.tech = sim::Technique::Noop;
+            cfg.minHint = floor;
+            const auto r = sim::runOne(name, cfg);
+            const auto cmp = sim::comparePower(base, r);
+            t.addRow({name, std::to_string(floor),
+                      Table::pct(bench::ipcLoss(base, r)),
+                      Table::pct(cmp.iqDynamicSaving)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+bankSweep()
+{
+    bench::header("A2: IQ bank granularity",
+                  "finer banks gate more but cost overhead per bank");
+    Table t({"benchmark", "banks", "banks off", "IQ stat saving"});
+    for (const auto &name : subset) {
+        for (int bankSize : {16, 8, 4}) {
+            auto cfg = quickCfg();
+            cfg.core.iq.bankSize = bankSize;
+            cfg.tech = sim::Technique::Baseline;
+            const auto base = sim::runOne(name, cfg);
+            cfg.tech = sim::Technique::Noop;
+            const auto r = sim::runOne(name, cfg);
+            const auto cmp = sim::comparePower(base, r);
+            t.addRow({name,
+                      std::to_string(80 / bankSize) + "x" +
+                          std::to_string(bankSize),
+                      Table::pct(r.iqBanksOffFraction()),
+                      Table::pct(cmp.iqStaticSaving)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+elisionAblation()
+{
+    bench::header("A3: redundant-hint elision",
+                  "elision removes NOOPs whose value matches the "
+                  "incoming range");
+    Table t({"benchmark", "elide", "hint noops", "IPC loss"});
+    for (const auto &name : subset) {
+        auto cfg = quickCfg();
+        cfg.tech = sim::Technique::Baseline;
+        const auto base = sim::runOne(name, cfg);
+        for (bool elide : {true, false}) {
+            cfg.tech = sim::Technique::Noop;
+            cfg.elideRedundant = elide;
+            const auto r = sim::runOne(name, cfg);
+            t.addRow({name, elide ? "on" : "off",
+                      std::to_string(r.compile.hintNoopsInserted),
+                      Table::pct(bench::ipcLoss(base, r))});
+        }
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+folegnaniComparison()
+{
+    bench::header("A4: Folegnani&Gonzalez resizer",
+                  "the ISCA'01 heuristic vs abella vs compiler hints");
+    Table t({"benchmark", "technique", "IPC loss", "IQ dyn saving"});
+    for (const auto &name : subset) {
+        auto cfg = quickCfg();
+        cfg.tech = sim::Technique::Baseline;
+        const auto base = sim::runOne(name, cfg);
+        for (auto tech : {sim::Technique::Noop,
+                          sim::Technique::Abella,
+                          sim::Technique::Folegnani}) {
+            cfg.tech = tech;
+            const auto r = sim::runOne(name, cfg);
+            const auto cmp = sim::comparePower(base, r);
+            t.addRow({name, sim::techniqueName(tech),
+                      Table::pct(bench::ipcLoss(base, r)),
+                      Table::pct(cmp.iqDynamicSaving)});
+        }
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    clampSweep();
+    bankSweep();
+    elisionAblation();
+    folegnaniComparison();
+    return 0;
+}

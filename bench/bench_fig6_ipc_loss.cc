@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 6: normalised IPC loss for the NOOP technique, per benchmark
+ * plus the SPECINT average, with the abella comparator.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace siq;
+    bench::header("Figure 6: IPC loss, NOOP scheme",
+                  "SPECINT avg 2.2% (abella 3.1%); worst vortex 5.4%, "
+                  "best mcf 0.4%");
+
+    const auto m = bench::runMatrix({sim::Technique::Baseline,
+                                     sim::Technique::Noop,
+                                     sim::Technique::Abella});
+
+    Table t({"benchmark", "base IPC", "noop loss", "abella loss"});
+    std::vector<double> noopLoss, abellaLoss;
+    for (std::size_t i = 0; i < m.benches.size(); i++) {
+        const auto &base = m.at(sim::Technique::Baseline, i);
+        const double n =
+            bench::ipcLoss(base, m.at(sim::Technique::Noop, i));
+        const double a =
+            bench::ipcLoss(base, m.at(sim::Technique::Abella, i));
+        noopLoss.push_back(n);
+        abellaLoss.push_back(a);
+        t.addRow({m.benches[i], Table::fmt(base.ipc(), 3),
+                  Table::pct(n), Table::pct(a)});
+    }
+    t.addRow({"SPECINT", "-", Table::pct(bench::mean(noopLoss)),
+              Table::pct(bench::mean(abellaLoss))});
+    t.print(std::cout);
+    std::cout << "\npaper: SPECINT 2.2%, abella 3.1%\n";
+    return 0;
+}

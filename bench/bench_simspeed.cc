@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A5: simulator throughput (google-benchmark) — simulated
+ * instructions and cycles per host second for a cache-friendly and a
+ * memory-bound workload, plus the compiler pass alone.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/core.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using namespace siq;
+
+void
+simulateInsts(benchmark::State &state, const std::string &name)
+{
+    workloads::WorkloadParams wp;
+    const Program prog = workloads::generate(name, wp);
+    for (auto _ : state) {
+        Core core(prog, CoreConfig{});
+        core.run(100000);
+        benchmark::DoNotOptimize(core.stats().cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+
+BENCHMARK_CAPTURE(simulateInsts, gzip, std::string("gzip"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simulateInsts, mcf, std::string("mcf"))
+    ->Unit(benchmark::kMillisecond);
+
+void
+annotateOnly(benchmark::State &state, const std::string &name)
+{
+    for (auto _ : state) {
+        Program prog = workloads::generate(name, {});
+        compiler::CompilerConfig cfg;
+        benchmark::DoNotOptimize(
+            compiler::annotate(prog, cfg).blocksAnalyzed);
+    }
+}
+
+BENCHMARK_CAPTURE(annotateOnly, gcc, std::string("gcc"))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

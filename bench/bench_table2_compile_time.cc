@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table 2: compilation times, baseline vs limited (with our analysis)
+ * per benchmark, via google-benchmark. The paper reports minutes on a
+ * Pentium 4 with gcc the worst (64 min -> 186 min) because "we
+ * examine all control-flow paths"; the shape to reproduce is the
+ * per-benchmark ordering and the baseline-to-limited ratio, with gcc
+ * dominating.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/pass.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace siq;
+
+void
+baselineCompile(benchmark::State &state, const std::string &name)
+{
+    for (auto _ : state) {
+        Program prog = workloads::generate(name, {});
+        benchmark::DoNotOptimize(prog.instCount());
+    }
+}
+
+void
+limitedCompile(benchmark::State &state, const std::string &name)
+{
+    for (auto _ : state) {
+        Program prog = workloads::generate(name, {});
+        compiler::CompilerConfig cfg;
+        const auto stats = compiler::annotate(prog, cfg);
+        benchmark::DoNotOptimize(stats.hintNoopsInserted);
+    }
+}
+
+const bool registered = [] {
+    for (const auto &name : workloads::benchmarkNames()) {
+        benchmark::RegisterBenchmark(
+            ("table2/baseline/" + name).c_str(),
+            [name](benchmark::State &s) { baselineCompile(s, name); })
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            ("table2/limited/" + name).c_str(),
+            [name](benchmark::State &s) { limitedCompile(s, name); })
+            ->Unit(benchmark::kMillisecond);
+    }
+    return true;
+}();
+
+} // namespace
+
+BENCHMARK_MAIN();

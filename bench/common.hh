@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared experiment-matrix runner for the figure/table benches. Each
+ * bench binary runs exactly the techniques its figure needs over the
+ * full 11-benchmark suite and prints the same rows/series the paper
+ * reports, with the paper's headline values alongside.
+ *
+ * Budgets are scaled down from the paper's 100M+100M warm-up+measure
+ * (see DESIGN.md §5); override with SIQSIM_WARMUP / SIQSIM_MEASURE
+ * (instruction counts) when more fidelity is wanted.
+ */
+
+#ifndef SIQ_BENCH_COMMON_HH
+#define SIQ_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+namespace siq::bench
+{
+
+inline std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr)
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+/** One run per benchmark per technique, shared across figures. */
+struct Matrix
+{
+    std::vector<std::string> benches;
+    std::map<sim::Technique, std::vector<sim::RunResult>> results;
+
+    const sim::RunResult &
+    at(sim::Technique tech, std::size_t benchIdx) const
+    {
+        return results.at(tech)[benchIdx];
+    }
+};
+
+inline Matrix
+runMatrix(const std::vector<sim::Technique> &techniques)
+{
+    Matrix m;
+    m.benches = workloads::benchmarkNames();
+    sim::RunConfig cfg;
+    cfg.warmupInsts = envOr("SIQSIM_WARMUP", 120000);
+    cfg.measureInsts = envOr("SIQSIM_MEASURE", 400000);
+    for (auto tech : techniques) {
+        cfg.tech = tech;
+        auto &rows = m.results[tech];
+        for (const auto &bench : m.benches) {
+            std::cerr << "  running " << bench << " / "
+                      << sim::techniqueName(tech) << "...\n";
+            rows.push_back(sim::runOne(bench, cfg));
+        }
+    }
+    return m;
+}
+
+/** Arithmetic mean over the suite (the paper's SPECINT bar). */
+inline double
+mean(const std::vector<double> &values)
+{
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return values.empty() ? 0.0
+                          : sum / static_cast<double>(values.size());
+}
+
+inline double
+ipcLoss(const sim::RunResult &base, const sim::RunResult &tech)
+{
+    return base.ipc() > 0.0 ? 1.0 - tech.ipc() / base.ipc() : 0.0;
+}
+
+inline void
+header(const std::string &title, const std::string &paperRef)
+{
+    std::cout << "==== " << title << " ====\n"
+              << "paper reference: " << paperRef << "\n\n";
+}
+
+} // namespace siq::bench
+
+#endif // SIQ_BENCH_COMMON_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Range sweep: force the compiler to believe the IQ has only R
+ * entries (so every emitted hint is <= R) and measure the IPC cost on
+ * the real 80-entry machine. This exposes each workload's sensitivity
+ * to window size — the curve the paper's technique exploits (flat
+ * curves mean free power savings; steep curves need accurate hints).
+ *
+ * Usage: range_sweep [benchmark ...]
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace siq;
+    std::vector<std::string> benches;
+    for (int i = 1; i < argc; i++)
+        benches.emplace_back(argv[i]);
+    if (benches.empty())
+        benches = {"gzip", "mcf", "vortex", "bzip2", "gcc"};
+
+    const std::vector<int> ranges = {4, 8, 16, 32, 48, 80};
+
+    std::vector<std::string> headers = {"benchmark", "base IPC"};
+    for (int r : ranges)
+        headers.push_back("R<=" + std::to_string(r));
+    Table t(headers);
+
+    for (const auto &bench : benches) {
+        sim::RunConfig cfg;
+        cfg.warmupInsts = 100000;
+        cfg.measureInsts = 300000;
+
+        cfg.tech = sim::Technique::Baseline;
+        const auto base = sim::runOne(bench, cfg);
+
+        std::vector<std::string> row = {bench,
+                                        Table::fmt(base.ipc(), 3)};
+        for (int r : ranges) {
+            Program prog =
+                workloads::generate(bench, cfg.workload);
+            compiler::CompilerConfig cc;
+            cc.scheme = compiler::HintScheme::Tag;
+            cc.minHint = 1;
+            cc.machine.iqSize = r; // forces every hint <= r
+            compiler::annotate(prog, cc);
+
+            CoreConfig coreCfg;
+            Core core(prog, coreCfg);
+            core.run(cfg.warmupInsts);
+            core.resetStats();
+            core.run(cfg.measureInsts);
+            const double loss =
+                1.0 - core.stats().ipc() / base.ipc();
+            row.push_back(Table::pct(loss) + "/" +
+                          Table::fmt(core.iqEvents().occupancySum /
+                                         double(core.iqEvents().cycles),
+                                     0));
+        }
+        t.addRow(row);
+    }
+    std::cout << "cells: IPC loss vs baseline / avg occupancy\n";
+    t.print(std::cout);
+    return 0;
+}

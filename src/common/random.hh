@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic choice in the project flows through this generator so
+ * that workload synthesis and simulation are bit-reproducible from a
+ * seed.
+ */
+
+#ifndef SIQ_COMMON_RANDOM_HH
+#define SIQ_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+/** xoshiro256** by Blackman & Vigna; fast, high-quality, seedable. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 seeding to spread a single word over the state
+        std::uint64_t z = seed;
+        for (auto &word : state) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t s = z;
+            s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ull;
+            s = (s ^ (s >> 27)) * 0x94d049bb133111ebull;
+            word = s ^ (s >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi], inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        SIQ_ASSERT(lo <= hi, "bad range ", lo, "..", hi);
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Pick an element of a non-empty vector uniformly. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        SIQ_ASSERT(!v.empty(), "pick from empty vector");
+        return v[static_cast<std::size_t>(range(0,
+            static_cast<std::int64_t>(v.size()) - 1))];
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace siq
+
+#endif // SIQ_COMMON_RANDOM_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to emit the rows
+ * the paper's tables and figures report.
+ */
+
+#ifndef SIQ_COMMON_TABLE_HH
+#define SIQ_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace siq
+{
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format as a percentage string, e.g. "47.0%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace siq
+
+#endif // SIQ_COMMON_TABLE_HH

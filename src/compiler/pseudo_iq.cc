@@ -1,0 +1,210 @@
+#include "compiler/pseudo_iq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace siq::compiler
+{
+
+PseudoInst
+toPseudoInst(const StaticInst &si, const PseudoIqConfig &cfg)
+{
+    PseudoInst pi;
+    pi.fu = si.traits().fu;
+    pi.latency = defaultCompilerLatency(si, cfg.l1dHitLatency);
+    pi.pipelined = si.traits().pipelined;
+    return pi;
+}
+
+PseudoIqResult
+simulatePseudoIq(const std::vector<PseudoInst> &insts,
+                 const std::vector<PseudoDep> &deps,
+                 const PseudoIqConfig &cfg,
+                 const std::array<int, numFuClasses> &fuBusyUntil,
+                 int rangeLimit)
+{
+    const int n = static_cast<int>(insts.size());
+    PseudoIqResult res;
+    res.issueCycle.assign(static_cast<std::size_t>(n), -1);
+    if (n == 0)
+        return res;
+
+    std::vector<int> readyAt(static_cast<std::size_t>(n), 0);
+    std::vector<int> dispatchedAt(static_cast<std::size_t>(n), -1);
+    std::vector<int> pendingParents(static_cast<std::size_t>(n), 0);
+    std::vector<std::vector<int>> children(
+        static_cast<std::size_t>(n));
+    for (int i = 0; i < n; i++)
+        readyAt[i] = insts[i].externalReady;
+    for (const auto &d : deps) {
+        SIQ_ASSERT(d.from >= 0 && d.from < n && d.to >= 0 && d.to < n,
+                   "bad pseudo dep");
+        pendingParents[d.to]++;
+        children[d.from].push_back(d.to);
+    }
+
+    int remaining = n;
+    int nextDispatch = 0;
+    int oldestUnissued = 0; // the position new_head tracks
+    int cycle = 0;
+    constexpr int cycleGuard = 1 << 21;
+
+    // per-unit occupancy: pipelined ops hold a unit one cycle,
+    // non-pipelined ones for their whole latency; the Improved
+    // scheme's callee pressure pre-occupies every unit
+    std::array<std::vector<int>, numFuClasses> unitFreeAt;
+    for (int k = 1; k < numFuClasses; k++) {
+        const int units = std::min(cfg.fuCounts[k], 64);
+        unitFreeAt[k].assign(static_cast<std::size_t>(units),
+                             fuBusyUntil[k]);
+    }
+    auto takeUnit = [&](FuClass fuClass, int until) {
+        auto &units = unitFreeAt[static_cast<int>(fuClass)];
+        for (auto &freeAt : units) {
+            if (freeAt <= cycle) {
+                freeAt = until;
+                return true;
+            }
+        }
+        return false;
+    };
+    auto unitAvailable = [&](FuClass fuClass) {
+        if (fuClass == FuClass::None)
+            return true;
+        for (int freeAt :
+             unitFreeAt[static_cast<int>(fuClass)]) {
+            if (freeAt <= cycle)
+                return true;
+        }
+        return false;
+    };
+
+    // cycle 0 pre-fills the queue ("we place the first few
+    // instructions in this pseudo issue queue")
+    for (int d = 0; d < cfg.dispatchWidth && nextDispatch < n &&
+                    nextDispatch - oldestUnissued < rangeLimit;
+         d++) {
+        dispatchedAt[nextDispatch++] = 0;
+    }
+
+    while (remaining > 0) {
+        SIQ_ASSERT(cycle < cycleGuard, "pseudo IQ failed to drain; "
+                   "cyclic dependences in a DAG analysis?");
+        int issued = 0;
+        int youngestIssued = -1;
+        const int oldestAtStart = oldestUnissued;
+
+        for (int i = oldestUnissued;
+             i < nextDispatch && issued < cfg.issueWidth; i++) {
+            if (res.issueCycle[i] >= 0)
+                continue; // already issued
+            if (pendingParents[i] > 0 || readyAt[i] > cycle)
+                continue;
+            if (dispatchedAt[i] < 0 || dispatchedAt[i] >= cycle)
+                continue; // issue starts the cycle after dispatch
+            if (!unitAvailable(insts[i].fu))
+                continue;
+            if (insts[i].fu != FuClass::None) {
+                takeUnit(insts[i].fu,
+                         insts[i].pipelined
+                             ? cycle + 1
+                             : cycle + insts[i].latency);
+            }
+            issued++;
+            res.issueCycle[i] = cycle;
+            youngestIssued = i;
+            for (int c : children[i]) {
+                pendingParents[c]--;
+                readyAt[c] = std::max(readyAt[c],
+                                      cycle + insts[i].latency);
+            }
+        }
+
+        if (youngestIssued >= 0) {
+            const int span = youngestIssued - oldestAtStart + 1;
+            res.entriesNeeded = std::max(res.entriesNeeded, span);
+            remaining -= issued;
+            while (oldestUnissued < n &&
+                   res.issueCycle[oldestUnissued] >= 0) {
+                oldestUnissued++;
+            }
+            res.drainCycles = cycle + 1;
+        }
+
+        // dispatch after issue, as in the paper's figure 2 ("if
+        // instruction a issues ... three more can be dispatched")
+        for (int d = 0; d < cfg.dispatchWidth && nextDispatch < n &&
+                        nextDispatch - oldestUnissued < rangeLimit;
+             d++) {
+            dispatchedAt[nextDispatch++] = cycle;
+        }
+        cycle++;
+    }
+    return res;
+}
+
+int
+minimalRange(const std::vector<PseudoInst> &insts,
+             const std::vector<PseudoDep> &deps,
+             const PseudoIqConfig &cfg,
+             const std::array<int, numFuClasses> &fuBusyUntil,
+             int slackCycles, bool strict)
+{
+    if (insts.empty())
+        return 1;
+    const PseudoIqResult ref =
+        simulatePseudoIq(insts, deps, cfg, fuBusyUntil, cfg.iqSize);
+    const int drainBudget = ref.drainCycles + slackCycles;
+
+    auto acceptable = [&](int range) {
+        const PseudoIqResult res =
+            simulatePseudoIq(insts, deps, cfg, fuBusyUntil, range);
+        if (res.drainCycles > drainBudget)
+            return false;
+        if (strict) {
+            for (std::size_t i = 0; i < insts.size(); i++) {
+                if (res.issueCycle[i] > ref.issueCycle[i])
+                    return false;
+            }
+        }
+        return true;
+    };
+
+    int lo = 1;
+    int hi = cfg.iqSize;
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (acceptable(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+void
+expandLoopDdg(const Ddg &body, int copies, const PseudoIqConfig &cfg,
+              std::vector<PseudoInst> &insts,
+              std::vector<PseudoDep> &deps)
+{
+    const int len = body.size();
+    insts.clear();
+    deps.clear();
+    insts.reserve(static_cast<std::size_t>(len * copies));
+    for (int u = 0; u < copies; u++) {
+        for (int j = 0; j < len; j++)
+            insts.push_back(toPseudoInst(*body.nodes[j].inst, cfg));
+    }
+    for (const auto &edge : body.edges) {
+        for (int u = 0; u < copies; u++) {
+            const int target = u + edge.distance;
+            if (target >= copies)
+                continue;
+            deps.push_back(
+                {u * len + edge.from, target * len + edge.to});
+        }
+    }
+}
+
+} // namespace siq::compiler

@@ -1,0 +1,114 @@
+#include "cpu/bpred.hh"
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+Bpred::Bpred(const BpredConfig &config) : _config(config)
+{
+    gshare.assign(config.gshareEntries, 1);   // weakly not-taken
+    bimodal.assign(config.bimodalEntries, 1);
+    selector.assign(config.selectorEntries, 2); // weakly gshare
+    btb.assign(config.btbEntries, {});
+    ras.assign(config.rasEntries, 0);
+}
+
+std::uint32_t
+Bpred::counterUpdate(std::uint32_t ctr, bool taken)
+{
+    if (taken)
+        return ctr < 3 ? ctr + 1 : 3;
+    return ctr > 0 ? ctr - 1 : 0;
+}
+
+bool
+Bpred::predictDirection(std::uint64_t pc) const
+{
+    _lookups++;
+    const std::uint64_t idx = pc >> 2;
+    const auto g = gshare[(idx ^ history) % gshare.size()];
+    const auto b = bimodal[idx % bimodal.size()];
+    const auto s = selector[idx % selector.size()];
+    return (s >= 2 ? g : b) >= 2;
+}
+
+void
+Bpred::updateDirection(std::uint64_t pc, bool taken)
+{
+    const std::uint64_t idx = pc >> 2;
+    auto &g = gshare[(idx ^ history) % gshare.size()];
+    auto &b = bimodal[idx % bimodal.size()];
+    auto &s = selector[idx % selector.size()];
+    const bool gCorrect = (g >= 2) == taken;
+    const bool bCorrect = (b >= 2) == taken;
+    if (gCorrect != bCorrect) {
+        s = static_cast<std::uint8_t>(counterUpdate(s, gCorrect));
+    }
+    g = static_cast<std::uint8_t>(counterUpdate(g, taken));
+    b = static_cast<std::uint8_t>(counterUpdate(b, taken));
+    history = ((history << 1) | (taken ? 1 : 0)) &
+              (gshare.size() - 1);
+}
+
+std::uint64_t
+Bpred::btbLookup(std::uint64_t pc) const
+{
+    const std::size_t sets = btb.size() / _config.btbAssoc;
+    const std::size_t set = (pc >> 2) % sets;
+    const std::uint64_t tag = (pc >> 2) / sets;
+    for (std::size_t w = 0; w < _config.btbAssoc; w++) {
+        const auto &e = btb[set * _config.btbAssoc + w];
+        if (e.valid && e.tag == tag)
+            return e.target;
+    }
+    return 0;
+}
+
+void
+Bpred::btbUpdate(std::uint64_t pc, std::uint64_t target)
+{
+    const std::size_t sets = btb.size() / _config.btbAssoc;
+    const std::size_t set = (pc >> 2) % sets;
+    const std::uint64_t tag = (pc >> 2) / sets;
+    btbUse++;
+    std::size_t victim = set * _config.btbAssoc;
+    std::uint64_t lru = ~0ull;
+    for (std::size_t w = 0; w < _config.btbAssoc; w++) {
+        auto &e = btb[set * _config.btbAssoc + w];
+        if (e.valid && e.tag == tag) {
+            e.target = target;
+            e.lastUse = btbUse;
+            return;
+        }
+        const std::uint64_t use = e.valid ? e.lastUse : 0;
+        if (use < lru) {
+            lru = use;
+            victim = set * _config.btbAssoc + w;
+        }
+    }
+    btb[victim] = {tag, target, btbUse, true};
+}
+
+void
+Bpred::rasPush(std::uint64_t returnPc)
+{
+    if (rasTop < ras.size()) {
+        ras[rasTop++] = returnPc;
+    } else {
+        // overflow: shift (oldest entry lost)
+        for (std::size_t i = 1; i < ras.size(); i++)
+            ras[i - 1] = ras[i];
+        ras.back() = returnPc;
+    }
+}
+
+std::uint64_t
+Bpred::rasPop()
+{
+    if (rasTop == 0)
+        return 0;
+    return ras[--rasTop];
+}
+
+} // namespace siq

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Branch direction and target prediction per Table 1 of the paper:
+ * a hybrid of 2K-entry gshare and 2K-entry bimodal tables with a
+ * 1K-entry selector, a 2048-entry 4-way BTB, and a return address
+ * stack (8 entries, the SimpleScalar default the paper's simulator
+ * inherits).
+ */
+
+#ifndef SIQ_CPU_BPRED_HH
+#define SIQ_CPU_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace siq
+{
+
+/** Branch predictor configuration (Table 1 defaults). */
+struct BpredConfig
+{
+    std::uint32_t gshareEntries = 2048;
+    std::uint32_t bimodalEntries = 2048;
+    std::uint32_t selectorEntries = 1024;
+    std::uint32_t btbEntries = 2048;
+    std::uint32_t btbAssoc = 4;
+    std::uint32_t rasEntries = 8;
+};
+
+/** Hybrid direction predictor + BTB + RAS. */
+class Bpred
+{
+  public:
+    explicit Bpred(const BpredConfig &config);
+
+    /** Predict the direction of a conditional branch at @p pc. */
+    bool predictDirection(std::uint64_t pc) const;
+
+    /**
+     * Update the direction tables and global history with the actual
+     * outcome. (Updated at fetch with the oracle outcome — the usual
+     * idealisation for execute-at-fetch simulators; identical across
+     * all configurations, so relative results are unaffected.)
+     */
+    void updateDirection(std::uint64_t pc, bool taken);
+
+    /** BTB lookup; @return predicted target or 0 on miss. */
+    std::uint64_t btbLookup(std::uint64_t pc) const;
+
+    /** Install/refresh a taken branch target. */
+    void btbUpdate(std::uint64_t pc, std::uint64_t target);
+
+    /// @name Return address stack.
+    /// @{
+    void rasPush(std::uint64_t returnPc);
+    /** Pop a predicted return target; 0 when empty. */
+    std::uint64_t rasPop();
+    /// @}
+
+    /// @name Accuracy statistics.
+    /// @{
+    std::uint64_t lookups() const { return _lookups; }
+    std::uint64_t mispredicts() const { return _mispredicts; }
+    void countMispredict() { _mispredicts++; }
+    void resetStats() { _lookups = _mispredicts = 0; }
+    /// @}
+
+  private:
+    struct BtbEntry
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    static std::uint32_t counterUpdate(std::uint32_t ctr, bool taken);
+
+    BpredConfig _config;
+    std::vector<std::uint8_t> gshare;   ///< 2-bit counters
+    std::vector<std::uint8_t> bimodal;  ///< 2-bit counters
+    std::vector<std::uint8_t> selector; ///< 2-bit: >=2 favours gshare
+    std::uint64_t history = 0;
+    std::vector<BtbEntry> btb;
+    std::uint64_t btbUse = 0;
+    std::vector<std::uint64_t> ras;
+    std::size_t rasTop = 0; ///< number of valid entries
+    mutable std::uint64_t _lookups = 0;
+    std::uint64_t _mispredicts = 0;
+};
+
+} // namespace siq
+
+#endif // SIQ_CPU_BPRED_HH

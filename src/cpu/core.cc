@@ -1,0 +1,493 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+namespace
+{
+/** Physical register handle: file selector in the high bits. */
+int
+handleOf(int file, int phys)
+{
+    return file * 256 + phys;
+}
+} // namespace
+
+Core::Core(const Program &prog_, const CoreConfig &config,
+           IqLimitController *controller)
+    : prog(prog_), cfg(config), ctrl(controller), _exec(prog_),
+      mem(config.mem), _bpred(config.bpred), iq(config.iq),
+      lsq(config.lsq), intRegs(config.intRegs), fpRegs(config.fpRegs)
+{
+    SIQ_ASSERT(cfg.robSize > 0, "empty ROB");
+    rob.assign(static_cast<std::size_t>(cfg.robSize), DynInst{});
+}
+
+std::uint64_t
+Core::blockStartPc(int procId, int blockId) const
+{
+    // resolve through empty fallthrough blocks exactly like the
+    // functional normalize() so RAS predictions compare equal
+    int b = blockId;
+    while (true) {
+        const BasicBlock &blk = prog.procs[procId].blocks[b];
+        if (!blk.insts.empty())
+            return blk.insts.front().pc;
+        if (blk.fallthrough < 0)
+            return 0;
+        b = blk.fallthrough;
+    }
+}
+
+std::uint64_t
+Core::pcOfCurrent() const
+{
+    const auto &blk =
+        prog.procs[_exec.curProc()].blocks[_exec.curBlock()];
+    return blk.insts[static_cast<std::size_t>(_exec.curInst())].pc;
+}
+
+int
+Core::fuUnitsBusy(int fu)
+{
+    auto &busy = nonPipedBusy[fu];
+    std::erase_if(busy,
+                  [this](std::uint64_t until) { return until <= now; });
+    return static_cast<int>(busy.size());
+}
+
+int
+Core::sourceHandle(int archReg, bool &ready) const
+{
+    if (archReg < 0 || archReg == zeroReg) {
+        ready = true;
+        return -1;
+    }
+    if (archReg >= fpRegBase) {
+        const int phys = fpRegs.lookup(archReg - fpRegBase);
+        ready = fpRegs.isReady(phys);
+        return handleOf(1, phys);
+    }
+    const int phys = intRegs.lookup(archReg);
+    ready = intRegs.isReady(phys);
+    return handleOf(0, phys);
+}
+
+void
+Core::predictControl(DynInst &di)
+{
+    const StaticInst &si = *di.si;
+    const auto &t = si.traits();
+    const StepResult &sr = di.step;
+    const std::uint64_t pc = di.pc;
+
+    std::uint64_t actualNext = 0;
+    if (!sr.halted) {
+        actualNext = prog.procs[sr.nextProc]
+                         .blocks[sr.nextBlock]
+                         .insts[static_cast<std::size_t>(
+                             sr.nextInstIdx)]
+                         .pc;
+    }
+
+    bool mispredict = false;
+    bool frontRedirect = false;
+
+    if (t.isBranch) {
+        _stats.condBranches++;
+        const bool predTaken = _bpred.predictDirection(pc);
+        const std::uint64_t btbTarget = _bpred.btbLookup(pc);
+        if (predTaken != sr.taken) {
+            mispredict = true;
+        } else if (sr.taken && btbTarget != actualNext) {
+            // right direction, target resolved at decode
+            frontRedirect = true;
+        }
+        _bpred.updateDirection(pc, sr.taken);
+        if (sr.taken)
+            _bpred.btbUpdate(pc, actualNext);
+    } else if (si.op == Opcode::Jump || si.op == Opcode::Call) {
+        const std::uint64_t btbTarget = _bpred.btbLookup(pc);
+        if (btbTarget != actualNext)
+            frontRedirect = true;
+        _bpred.btbUpdate(pc, actualNext);
+        if (si.op == Opcode::Call) {
+            const auto &callBlock =
+                prog.procs[sr.proc].blocks[sr.block];
+            _bpred.rasPush(
+                blockStartPc(sr.proc, callBlock.fallthrough));
+        }
+    } else if (si.op == Opcode::Ret) {
+        const std::uint64_t predicted = _bpred.rasPop();
+        if (predicted != actualNext && !sr.halted)
+            mispredict = true;
+    } else if (si.op == Opcode::IJump) {
+        const std::uint64_t btbTarget = _bpred.btbLookup(pc);
+        if (btbTarget != actualNext)
+            mispredict = true;
+        _bpred.btbUpdate(pc, actualNext);
+    }
+
+    if (mispredict) {
+        di.stallsFetch = true;
+        _stats.branchMispredicts++;
+        _bpred.countMispredict();
+    } else if (frontRedirect) {
+        _stats.frontRedirects++;
+        fetchResumeCycle = now + static_cast<std::uint64_t>(
+                                     cfg.decodeDepth);
+    }
+}
+
+void
+Core::commitStage()
+{
+    int committed = 0;
+    while (committed < cfg.commitWidth && robCount > 0 &&
+           !coreHalted) {
+        DynInst &di = rob[robHead];
+        if (!di.completed)
+            break;
+        const auto &t = di.si->traits();
+        if (t.isStore)
+            mem.dataAccess(di.step.memAddr * 8);
+        if (t.isLoad || t.isStore)
+            lsq.releaseHead(di.lsqIdx);
+        if (di.oldPdst >= 0) {
+            (di.dstFile == 1 ? fpRegs : intRegs)
+                .release(di.oldPdst);
+        }
+        if (di.si->op == Opcode::Halt)
+            coreHalted = true;
+        robHead = robHead + 1 == cfg.robSize ? 0 : robHead + 1;
+        robCount--;
+        committed++;
+        _stats.committed++;
+    }
+}
+
+void
+Core::writebackStage()
+{
+    const auto it = completions.find(now);
+    if (it == completions.end())
+        return;
+    for (const int robIdx : it->second) {
+        DynInst &di = rob[robIdx];
+        di.completed = true;
+        if (di.pdst >= 0) {
+            if (di.dstFile == 1) {
+                fpRegs.setReady(di.pdst);
+                _stats.rfFpWrites++;
+            } else {
+                intRegs.setReady(di.pdst);
+                _stats.rfIntWrites++;
+            }
+            iq.wakeup(handleOf(di.dstFile, di.pdst));
+        }
+        if (di.si->traits().isStore)
+            lsq.markCompleted(di.lsqIdx);
+        if (di.stallsFetch) {
+            fetchBlocked = false;
+            fetchResumeCycle =
+                std::max<std::uint64_t>(fetchResumeCycle, now + 1);
+        }
+    }
+    completions.erase(it);
+}
+
+void
+Core::issueStage()
+{
+    static thread_local std::vector<IssueQueue::Candidate> ready;
+    iq.collectReady(ready);
+    std::array<int, coreNumFuClasses> fuUsed{};
+    const int regionAtStart = iq.regionSize();
+    int issued = 0;
+
+    for (const auto &cand : ready) {
+        if (issued >= cfg.issueWidth)
+            break;
+        DynInst &di = rob[cand.robIdx];
+        const auto &t = di.si->traits();
+        const auto fu = static_cast<int>(t.fu);
+        // a pipelined unit is busy for one issue slot; a
+        // non-pipelined one (divides) holds its unit for the full
+        // latency, tracked in fuUnitsBusy
+        if (t.fu != FuClass::None &&
+            fuUsed[fu] + fuUnitsBusy(fu) >= cfg.fuCounts[fu]) {
+            continue;
+        }
+        if (t.isLoad && lsq.loadBlocked(di.lsqIdx))
+            continue;
+
+        int latency = t.latency;
+        if (t.isLoad) {
+            _stats.loads++;
+            if (lsq.loadForwards(di.lsqIdx)) {
+                latency = 1;
+                _stats.loadForwards++;
+            } else {
+                latency = mem.dataAccess(di.step.memAddr * 8);
+            }
+        }
+        if (t.pipelined) {
+            fuUsed[fu]++;
+        } else {
+            nonPipedBusy[fu].push_back(
+                now + static_cast<std::uint64_t>(latency));
+        }
+        issued++;
+        iq.markIssued(cand.slot);
+        if (t.isLoad || t.isStore)
+            lsq.markIssued(di.lsqIdx);
+        completions[now + static_cast<std::uint64_t>(latency)]
+            .push_back(cand.robIdx);
+
+        for (int handle : {di.psrc1, di.psrc2}) {
+            if (handle < 0)
+                continue;
+            if (handle >= 256)
+                _stats.rfFpReads++;
+            else
+                _stats.rfIntReads++;
+        }
+        _stats.issued++;
+        if (regionAtStart - 1 - cand.distFromHead < cfg.iq.bankSize)
+            signals.issuedFromYoungestBank++;
+    }
+    signals.issuedTotal = issued;
+}
+
+void
+Core::dispatchStage()
+{
+    int dispatched = 0;
+    while (dispatched < cfg.dispatchWidth && !fetchQueue.empty()) {
+        DynInst &front = fetchQueue.front();
+        if (front.decodeReadyCycle > now)
+            break;
+
+        // special NOOPs are stripped here, in the last decode stage,
+        // consuming a dispatch slot (paper §5.2.1)
+        if (front.si->op == Opcode::Hint) {
+            iq.applyHint(front.si->hintValue);
+            _stats.hintsApplied++;
+            fetchQueue.pop_front();
+            dispatched++;
+            continue;
+        }
+
+        const auto &t = front.si->traits();
+        const bool needsIq = t.fu != FuClass::None;
+
+        if (robCount >= cfg.robSize) {
+            _stats.dispatchStallRob++;
+            break;
+        }
+        if (ctrl != nullptr && robCount >= ctrl->robLimit()) {
+            _stats.dispatchStallLimit++;
+            signals.dispatchStalledByLimit = true;
+            break;
+        }
+        if (needsIq && iq.regionFull()) {
+            _stats.dispatchStallIqFull++;
+            break;
+        }
+        if (needsIq && ctrl != nullptr &&
+            iq.validCount() >= ctrl->iqLimit()) {
+            _stats.dispatchStallLimit++;
+            signals.dispatchStalledByLimit = true;
+            break;
+        }
+        // Extension scheme: the tag applies when the tagged
+        // instruction dispatches, before the range check, so the
+        // tagged instruction starts its own region
+        if (front.si->tagHint != 0 && !front.hintApplied) {
+            iq.applyHint(front.si->tagHint);
+            front.hintApplied = true;
+            _stats.hintsApplied++;
+        }
+        if (needsIq && iq.rangeBlocked()) {
+            _stats.dispatchStallRange++;
+            break;
+        }
+        if ((t.isLoad || t.isStore) && lsq.full()) {
+            _stats.dispatchStallLsq++;
+            break;
+        }
+        int dstFile = -1;
+        if (front.si->writesLiveReg())
+            dstFile = front.si->dst >= fpRegBase ? 1 : 0;
+        if (dstFile == 0 && !intRegs.hasFree()) {
+            _stats.dispatchStallRegs++;
+            break;
+        }
+        if (dstFile == 1 && !fpRegs.hasFree()) {
+            _stats.dispatchStallRegs++;
+            break;
+        }
+
+        // rename
+        DynInst di = front;
+        fetchQueue.pop_front();
+        bool ready1 = true;
+        bool ready2 = true;
+        di.psrc1 = t.readsSrc1 ? sourceHandle(di.si->src1, ready1)
+                               : -1;
+        di.psrc2 = t.readsSrc2 ? sourceHandle(di.si->src2, ready2)
+                               : -1;
+        di.dstFile = dstFile;
+        if (dstFile >= 0) {
+            auto &file = dstFile == 1 ? fpRegs : intRegs;
+            const int arch = dstFile == 1
+                                 ? di.si->dst - fpRegBase
+                                 : di.si->dst;
+            const auto [fresh, old] = file.rename(arch);
+            di.pdst = fresh;
+            di.oldPdst = old;
+        }
+
+        const int robIdx = robTail;
+        if (t.isLoad || t.isStore)
+            di.lsqIdx = lsq.allocate(t.isStore, di.step.memAddr,
+                                     robIdx);
+        if (t.isStore)
+            _stats.stores++;
+        if (needsIq) {
+            di.iqSlot = iq.dispatch(robIdx, di.psrc1, ready1,
+                                    di.psrc2, ready2, di.seq);
+        } else {
+            di.completed = true; // Nop/Halt: nothing to execute
+        }
+        rob[robIdx] = di;
+        robTail = robTail + 1 == cfg.robSize ? 0 : robTail + 1;
+        robCount++;
+        dispatched++;
+        _stats.dispatched++;
+    }
+}
+
+void
+Core::fetchStage()
+{
+    if (fetchDone || fetchBlocked || now < fetchResumeCycle ||
+        now < icacheReadyCycle) {
+        return;
+    }
+    int fetched = 0;
+    while (fetched < cfg.fetchWidth &&
+           fetchQueue.size() <
+               static_cast<std::size_t>(cfg.fetchQueueSize) &&
+           !_exec.halted()) {
+        const std::uint64_t pc = pcOfCurrent();
+        const std::uint64_t line = pc / cfg.mem.l1i.lineBytes;
+        if (line != lastFetchLine) {
+            const int latency = mem.instAccess(pc);
+            lastFetchLine = line;
+            if (latency > 1) {
+                icacheReadyCycle =
+                    now + static_cast<std::uint64_t>(latency);
+                break;
+            }
+        }
+
+        DynInst di;
+        di.step = _exec.step();
+        di.si = di.step.inst;
+        di.seq = seqCounter++;
+        di.pc = di.si->pc;
+        di.decodeReadyCycle =
+            now + static_cast<std::uint64_t>(cfg.decodeDepth);
+
+        const std::uint64_t resumeBefore = fetchResumeCycle;
+        predictControl(di);
+        const bool redirected = fetchResumeCycle != resumeBefore;
+        const bool taken =
+            di.step.taken || di.si->traits().isJump;
+
+        fetchQueue.push_back(di);
+        _stats.fetched++;
+        fetched++;
+
+        if (_exec.halted())
+            fetchDone = true;
+        if (di.stallsFetch) {
+            fetchBlocked = true;
+            break;
+        }
+        if (redirected || taken)
+            break; // cannot fetch past a taken control this cycle
+    }
+}
+
+void
+Core::tick()
+{
+    signals = ResizeSignals{};
+    signals.cycle = now;
+
+    commitStage();
+    writebackStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+
+    // per-cycle statistics
+    iq.tickStats();
+    _stats.rfIntLiveSum +=
+        static_cast<std::uint64_t>(intRegs.liveRegs());
+    _stats.rfIntPoweredBankCycles +=
+        static_cast<std::uint64_t>(intRegs.poweredBanks());
+    _stats.rfIntBankCycles +=
+        static_cast<std::uint64_t>(intRegs.numBanks());
+    _stats.rfFpLiveSum +=
+        static_cast<std::uint64_t>(fpRegs.liveRegs());
+    _stats.rfFpPoweredBankCycles +=
+        static_cast<std::uint64_t>(fpRegs.poweredBanks());
+    _stats.rfFpBankCycles +=
+        static_cast<std::uint64_t>(fpRegs.numBanks());
+    _stats.cycles++;
+
+    if (ctrl != nullptr) {
+        signals.iqValid = iq.validCount();
+        signals.iqRegionLen = iq.regionSize();
+        signals.robCount = robCount;
+        ctrl->tick(signals);
+    }
+    now++;
+}
+
+std::uint64_t
+Core::run(std::uint64_t maxInsts)
+{
+    const std::uint64_t start = _stats.committed;
+    std::uint64_t lastCommitted = start;
+    std::uint64_t lastProgress = now;
+    while (!coreHalted && _stats.committed - start < maxInsts) {
+        tick();
+        if (_stats.committed != lastCommitted) {
+            lastCommitted = _stats.committed;
+            lastProgress = now;
+        }
+        SIQ_ASSERT(now - lastProgress < 200000,
+                   "no commit progress for 200k cycles: deadlock? "
+                   "cycle=", now, " committed=", _stats.committed);
+    }
+    return _stats.committed - start;
+}
+
+void
+Core::resetStats()
+{
+    _stats.reset();
+    iq.events.reset();
+    mem.resetStats();
+    _bpred.resetStats();
+}
+
+} // namespace siq

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The out-of-order superscalar core (paper §3 / Table 1).
+ *
+ * Execute-at-fetch model: every fetched instruction is functionally
+ * executed immediately (ExecContext), so values, addresses and branch
+ * outcomes are oracle-known; the pipeline then models timing. On a
+ * mispredicted branch, fetch stalls until the branch executes and
+ * resumes on the correct path the following cycle (wrong-path
+ * instructions are not fetched — a standard academic simplification
+ * that is identical across all configurations; the penalty still
+ * depends on IQ sizing because resolution time is simulated).
+ *
+ * Per-cycle stage order (reverse pipeline order so same-cycle
+ * wakeup+select works as in the paper's figure 1, where producers
+ * complete and consumers issue in the same cycle):
+ *   commit -> writeback -> select/issue -> dispatch -> fetch.
+ */
+
+#ifndef SIQ_CPU_CORE_HH
+#define SIQ_CPU_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cpu/bpred.hh"
+#include "cpu/iq.hh"
+#include "cpu/lsq.hh"
+#include "cpu/regfile.hh"
+#include "cpu/resize.hh"
+#include "ir/exec.hh"
+#include "ir/program.hh"
+#include "mem/cache.hh"
+
+namespace siq
+{
+
+constexpr int coreNumFuClasses = static_cast<int>(FuClass::NumClasses);
+
+/** Full machine configuration, defaults per Table 1. */
+struct CoreConfig
+{
+    int fetchWidth = 8;
+    int dispatchWidth = 8;
+    int issueWidth = 8;
+    int commitWidth = 8;
+    int decodeDepth = 3;     ///< fetch-to-dispatch latency in cycles
+    int fetchQueueSize = 32;
+    int robSize = 128;
+    IqConfig iq;
+    LsqConfig lsq;
+    RegFileConfig intRegs{112, 32, 8};
+    RegFileConfig fpRegs{112, 32, 8};
+    /** Units per FU class, indexed by FuClass. */
+    std::array<int, coreNumFuClasses> fuCounts = {
+        1 << 20, 6, 3, 4, 2, 2,
+    };
+    BpredConfig bpred;
+    MemHierarchyConfig mem;
+};
+
+/** Aggregate core statistics (reset at end of warm-up). */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t hintsApplied = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t frontRedirects = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t dispatchStallRob = 0;
+    std::uint64_t dispatchStallIqFull = 0;
+    std::uint64_t dispatchStallRange = 0;
+    std::uint64_t dispatchStallLimit = 0; ///< adaptive controller
+    std::uint64_t dispatchStallRegs = 0;
+    std::uint64_t dispatchStallLsq = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t loadForwards = 0;
+    std::uint64_t rfIntReads = 0;
+    std::uint64_t rfIntWrites = 0;
+    std::uint64_t rfFpReads = 0;
+    std::uint64_t rfFpWrites = 0;
+    std::uint64_t rfIntLiveSum = 0;
+    std::uint64_t rfIntPoweredBankCycles = 0;
+    std::uint64_t rfIntBankCycles = 0;
+    std::uint64_t rfFpLiveSum = 0;
+    std::uint64_t rfFpPoweredBankCycles = 0;
+    std::uint64_t rfFpBankCycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = CoreStats{};
+    }
+};
+
+/** One in-flight instruction. */
+struct DynInst
+{
+    const StaticInst *si = nullptr;
+    std::uint64_t seq = 0;
+    std::uint64_t pc = 0;
+    StepResult step;
+    int dstFile = -1; ///< 0 int, 1 fp, -1 none
+    int pdst = -1;
+    int oldPdst = -1;
+    int psrc1 = -1; ///< handle: file*256 + phys
+    int psrc2 = -1;
+    int iqSlot = -1;
+    int lsqIdx = -1;
+    std::uint64_t decodeReadyCycle = 0;
+    bool completed = false;
+    bool hintApplied = false;
+    bool stallsFetch = false; ///< fetch resumes when this completes
+};
+
+/** The cycle-level core. */
+class Core
+{
+  public:
+    /**
+     * @param prog finalized program (hints already inserted, if any)
+     * @param config machine parameters
+     * @param controller optional hardware resize heuristic (owned by
+     *        the caller; pass nullptr for the baseline and the
+     *        compiler-hint configurations)
+     */
+    Core(const Program &prog, const CoreConfig &config,
+         IqLimitController *controller = nullptr);
+
+    /** The core keeps a reference: the program must outlive it. */
+    Core(Program &&, const CoreConfig &,
+         IqLimitController * = nullptr) = delete;
+
+    /**
+     * Run until the program halts or @p maxInsts more instructions
+     * commit. @return instructions committed by this call.
+     */
+    std::uint64_t run(std::uint64_t maxInsts);
+
+    /** Advance one cycle. */
+    void tick();
+
+    bool done() const { return coreHalted; }
+
+    /** Clear all measurement state (end of warm-up). */
+    void resetStats();
+
+    const CoreStats &stats() const { return _stats; }
+    const IqEventCounts &iqEvents() const { return iq.events; }
+    const IssueQueue &issueQueue() const { return iq; }
+    const RegFile &intRegFile() const { return intRegs; }
+    const RegFile &fpRegFile() const { return fpRegs; }
+    MemHierarchy &memory() { return mem; }
+    Bpred &bpred() { return _bpred; }
+    const ExecContext &exec() const { return _exec; }
+    std::uint64_t cycle() const { return now; }
+
+  private:
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    std::uint64_t pcOfCurrent() const;
+    std::uint64_t blockStartPc(int proc, int block) const;
+    void predictControl(DynInst &di);
+    int sourceHandle(int archReg, bool &ready) const;
+    /** Units of @p fu still held by non-pipelined ops (prunes). */
+    int fuUnitsBusy(int fu);
+
+    const Program &prog;
+    CoreConfig cfg;
+    IqLimitController *ctrl;
+
+    ExecContext _exec;
+    MemHierarchy mem;
+    Bpred _bpred;
+    IssueQueue iq;
+    Lsq lsq;
+    RegFile intRegs;
+    RegFile fpRegs;
+
+    std::vector<DynInst> rob;
+    int robHead = 0;
+    int robTail = 0;
+    int robCount = 0;
+
+    std::deque<DynInst> fetchQueue;
+    std::map<std::uint64_t, std::vector<int>> completions;
+
+    std::uint64_t now = 0;
+    std::uint64_t seqCounter = 0;
+    bool fetchBlocked = false;       ///< waiting on a mispredict
+    std::uint64_t fetchResumeCycle = 0;
+    std::uint64_t icacheReadyCycle = 0;
+    std::uint64_t lastFetchLine = ~0ull;
+    bool fetchDone = false; ///< program fully fetched (halt seen)
+    bool coreHalted = false;
+
+    // busy-until cycles of units held by in-flight non-pipelined ops
+    std::array<std::vector<std::uint64_t>, coreNumFuClasses>
+        nonPipedBusy;
+
+    // per-cycle signals for the resize controller
+    ResizeSignals signals;
+
+    CoreStats _stats;
+};
+
+} // namespace siq
+
+#endif // SIQ_CPU_CORE_HH

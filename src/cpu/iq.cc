@@ -1,0 +1,162 @@
+#include "cpu/iq.hh"
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+IssueQueue::IssueQueue(const IqConfig &config) : cfg(config)
+{
+    SIQ_ASSERT(cfg.numEntries > 0 && cfg.bankSize > 0 &&
+               cfg.numEntries % cfg.bankSize == 0,
+               "banks must tile the issue queue");
+    nbanks = cfg.numEntries / cfg.bankSize;
+    slots.assign(static_cast<std::size_t>(cfg.numEntries), {});
+    bankValid.assign(static_cast<std::size_t>(nbanks), 0);
+    maxNewRange = cfg.numEntries; // unconstrained until a hint arrives
+}
+
+int
+IssueQueue::dispatch(int robIdx, int psrc1, bool ready1, int psrc2,
+                     bool ready2, std::uint64_t seq)
+{
+    SIQ_ASSERT(canDispatch(), "dispatch into a blocked queue");
+    const int slot = tail;
+    Entry &e = slots[slot];
+    SIQ_ASSERT(!e.valid, "tail slot occupied");
+    e.valid = true;
+    e.robIdx = robIdx;
+    e.psrc1 = psrc1;
+    e.psrc2 = psrc2;
+    e.ready1 = ready1 || psrc1 < 0;
+    e.ready2 = ready2 || psrc2 < 0;
+    e.seq = seq;
+    bankValid[slot / cfg.bankSize]++;
+    tail = next(tail);
+    count++;
+    regionLen++;
+    newRegionLen++;
+    events.dispatchWrites++;
+    return slot;
+}
+
+void
+IssueQueue::applyHint(int entries)
+{
+    if (entries < 1)
+        entries = 1;
+    if (entries > cfg.numEntries)
+        entries = cfg.numEntries;
+    maxNewRange = entries;
+    newHead = tail;
+    newRegionLen = 0;
+}
+
+void
+IssueQueue::wakeup(int ptag)
+{
+    events.broadcasts++;
+    events.cmpConventional +=
+        2 * static_cast<std::uint64_t>(cfg.numEntries);
+
+    // powered-bank operand slots (bank gating only, no operand gating)
+    for (int b = 0; b < nbanks; b++) {
+        if (bankValid[b] > 0) {
+            events.cmpPowered +=
+                2 * static_cast<std::uint64_t>(cfg.bankSize);
+        }
+    }
+
+    // gated comparisons: only non-ready operands of valid entries
+    int slot = head;
+    for (int i = 0; i < regionLen; i++, slot = next(slot)) {
+        Entry &e = slots[slot];
+        if (!e.valid)
+            continue;
+        if (!e.ready1) {
+            events.cmpGated++;
+            if (e.psrc1 == ptag)
+                e.ready1 = true;
+        }
+        if (!e.ready2) {
+            events.cmpGated++;
+            if (e.psrc2 == ptag)
+                e.ready2 = true;
+        }
+    }
+}
+
+void
+IssueQueue::collectReady(std::vector<Candidate> &out) const
+{
+    out.clear();
+    int slot = head;
+    for (int i = 0; i < regionLen; i++, slot = next(slot)) {
+        const Entry &e = slots[slot];
+        if (e.valid && e.ready1 && e.ready2)
+            out.push_back({slot, e.robIdx, i});
+    }
+}
+
+void
+IssueQueue::markIssued(int slot)
+{
+    Entry &e = slots[slot];
+    SIQ_ASSERT(e.valid, "issuing an empty slot");
+    e.valid = false;
+    e.robIdx = -1;
+    bankValid[slot / cfg.bankSize]--;
+    count--;
+    events.issueReads++;
+    if (slot == newHead)
+        advanceNewHead();
+    if (slot == head)
+        advanceHead();
+}
+
+void
+IssueQueue::advanceHead()
+{
+    while (regionLen > 0 && !slots[head].valid) {
+        head = next(head);
+        regionLen--;
+    }
+    if (regionLen == 0) {
+        SIQ_ASSERT(count == 0, "empty region with valid entries");
+    }
+    // head may overtake a stale new_head when the new region drained
+    if (newRegionLen > regionLen) {
+        newHead = head;
+        newRegionLen = regionLen;
+    }
+}
+
+void
+IssueQueue::advanceNewHead()
+{
+    while (newRegionLen > 0 && !slots[newHead].valid) {
+        newHead = next(newHead);
+        newRegionLen--;
+    }
+}
+
+int
+IssueQueue::poweredBanks() const
+{
+    int n = 0;
+    for (int v : bankValid)
+        n += v > 0 ? 1 : 0;
+    return n;
+}
+
+void
+IssueQueue::tickStats()
+{
+    events.cycles++;
+    events.occupancySum += static_cast<std::uint64_t>(count);
+    events.poweredBankCycles +=
+        static_cast<std::uint64_t>(poweredBanks());
+    events.totalBankCycles += static_cast<std::uint64_t>(nbanks);
+}
+
+} // namespace siq

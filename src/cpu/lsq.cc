@@ -1,0 +1,66 @@
+#include "cpu/lsq.hh"
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+Lsq::Lsq(const LsqConfig &config) : cfg(config)
+{
+    SIQ_ASSERT(cfg.numEntries > 0, "empty LSQ");
+    entries.assign(static_cast<std::size_t>(cfg.numEntries), {});
+}
+
+int
+Lsq::allocate(bool isStore, std::uint64_t wordAddr, int robIdx)
+{
+    SIQ_ASSERT(!full(), "allocate into a full LSQ");
+    const int idx = tail;
+    entries[idx] = {true, isStore, false, false, wordAddr, robIdx};
+    tail = tail + 1 == cfg.numEntries ? 0 : tail + 1;
+    count++;
+    return idx;
+}
+
+bool
+Lsq::loadBlocked(int idx) const
+{
+    // walk older entries (from idx back to head) looking for an
+    // incomplete same-address store
+    int cur = idx;
+    while (cur != head) {
+        cur = prev(cur);
+        const Entry &e = entries[cur];
+        if (e.valid && e.isStore && e.addr == entries[idx].addr &&
+            !e.completed) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Lsq::loadForwards(int idx) const
+{
+    // the youngest older same-address store supplies the value
+    int cur = idx;
+    while (cur != head) {
+        cur = prev(cur);
+        const Entry &e = entries[cur];
+        if (e.valid && e.isStore && e.addr == entries[idx].addr)
+            return e.completed;
+    }
+    return false;
+}
+
+void
+Lsq::releaseHead(int idx)
+{
+    SIQ_ASSERT(count > 0 && idx == head,
+               "LSQ release out of order: ", idx, " vs head ", head);
+    entries[head].valid = false;
+    head = head + 1 == cfg.numEntries ? 0 : head + 1;
+    count--;
+}
+
+} // namespace siq

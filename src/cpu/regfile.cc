@@ -1,0 +1,63 @@
+#include "cpu/regfile.hh"
+
+namespace siq
+{
+
+RegFile::RegFile(const RegFileConfig &config) : _config(config)
+{
+    SIQ_ASSERT(config.numPhys > config.numArch,
+               "need rename headroom");
+    SIQ_ASSERT(config.numPhys % config.bankSize == 0,
+               "banks must tile the file");
+    _numBanks = config.numPhys / config.bankSize;
+    mapTable.resize(config.numArch);
+    readyBit.assign(config.numPhys, false);
+    bankLive.assign(_numBanks, 0);
+
+    // arch reg i starts mapped to phys i, value available
+    for (int i = 0; i < config.numArch; i++) {
+        mapTable[i] = i;
+        readyBit[i] = true;
+        bankLive[i / config.bankSize]++;
+        _liveRegs++;
+    }
+    for (int p = config.numArch; p < config.numPhys; p++)
+        freeList.push(p);
+}
+
+std::pair<int, int>
+RegFile::rename(int archReg)
+{
+    SIQ_ASSERT(!freeList.empty(), "rename with empty free list");
+    const int fresh = freeList.top();
+    freeList.pop();
+    const int old = mapTable[archReg];
+    mapTable[archReg] = fresh;
+    readyBit[fresh] = false;
+    bankLive[fresh / _config.bankSize]++;
+    _liveRegs++;
+    return {fresh, old};
+}
+
+void
+RegFile::release(int phys)
+{
+    SIQ_ASSERT(phys >= 0 && phys < _config.numPhys, "bad release");
+    readyBit[phys] = false;
+    bankLive[phys / _config.bankSize]--;
+    SIQ_ASSERT(bankLive[phys / _config.bankSize] >= 0,
+               "bank liveness underflow");
+    _liveRegs--;
+    freeList.push(phys);
+}
+
+int
+RegFile::poweredBanks() const
+{
+    int n = 0;
+    for (int live : bankLive)
+        n += live > 0 ? 1 : 0;
+    return n;
+}
+
+} // namespace siq

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Banked physical register file with renaming (Table 1: 112 entries
+ * in 14 banks of 8, one file for integer and one for FP).
+ *
+ * The free list is a min-heap so allocation packs the lowest-numbered
+ * banks; a bank with no live register is power-gated. This is the
+ * bank-packing policy the paper's register-file savings rely on
+ * ("by banking them we can turn off those banks that are not in
+ * use").
+ */
+
+#ifndef SIQ_CPU_REGFILE_HH
+#define SIQ_CPU_REGFILE_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+/** Geometry of one physical register file. */
+struct RegFileConfig
+{
+    int numPhys = 112;
+    int numArch = 32;
+    int bankSize = 8;
+};
+
+/** Rename map + free list + readiness scoreboard + bank liveness. */
+class RegFile
+{
+  public:
+    explicit RegFile(const RegFileConfig &config);
+
+    bool hasFree() const { return !freeList.empty(); }
+
+    /**
+     * Rename @p archReg to a fresh physical register.
+     * @return {newPhys, oldPhys}; oldPhys is freed when the renaming
+     *         instruction commits.
+     */
+    std::pair<int, int> rename(int archReg);
+
+    /** Current mapping of an architectural register. */
+    int lookup(int archReg) const { return mapTable[archReg]; }
+
+    /** Value availability of a physical register. */
+    bool isReady(int phys) const { return readyBit[phys]; }
+    void setReady(int phys) { readyBit[phys] = true; }
+
+    /** Return @p phys to the free list (at commit of the redefiner). */
+    void release(int phys);
+
+    /// @name Bank occupancy (for the power model).
+    /// @{
+    int numBanks() const { return _numBanks; }
+    int liveRegs() const { return _liveRegs; }
+    int poweredBanks() const;
+    /// @}
+
+    const RegFileConfig &config() const { return _config; }
+
+  private:
+    RegFileConfig _config;
+    int _numBanks;
+    std::vector<int> mapTable;
+    std::vector<bool> readyBit;
+    std::vector<int> bankLive;
+    std::priority_queue<int, std::vector<int>, std::greater<>>
+        freeList;
+    int _liveRegs = 0;
+};
+
+} // namespace siq
+
+#endif // SIQ_CPU_REGFILE_HH

@@ -1,0 +1,194 @@
+#include "ir/cfg.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+std::vector<int>
+reversePostOrder(const Procedure &proc)
+{
+    const int n = static_cast<int>(proc.blocks.size());
+    std::vector<int> order;
+    std::vector<char> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    // iterative DFS with explicit successor cursors
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, cursor] = stack.back();
+        const auto &succs = proc.blocks[b].succs;
+        if (cursor < succs.size()) {
+            const int next = succs[cursor++];
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[b] = 2;
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+std::vector<int>
+immediateDominators(const Procedure &proc)
+{
+    const int n = static_cast<int>(proc.blocks.size());
+    const std::vector<int> rpo = reversePostOrder(proc);
+    std::vector<int> rpoIndex(n, -1);
+    for (std::size_t i = 0; i < rpo.size(); i++)
+        rpoIndex[rpo[i]] = static_cast<int>(i);
+
+    std::vector<int> idom(n, -1);
+    idom[0] = 0;
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = idom[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo) {
+            if (b == 0)
+                continue;
+            int newIdom = -1;
+            for (int p : proc.blocks[b].preds) {
+                if (rpoIndex[p] < 0 || idom[p] < 0)
+                    continue; // unreachable or not yet processed
+                newIdom = newIdom < 0 ? p : intersect(p, newIdom);
+            }
+            if (newIdom >= 0 && idom[b] != newIdom) {
+                idom[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::vector<int> &idom, int a, int b)
+{
+    if (b < 0 || idom[b] < 0)
+        return false;
+    int cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == idom[cur])
+            return cur == a;
+        cur = idom[cur];
+    }
+}
+
+std::vector<int>
+NaturalLoop::exclusiveBlocks(const std::vector<NaturalLoop> &all) const
+{
+    std::set<int> inner;
+    for (int c : children)
+        for (int b : all[c].blocks)
+            inner.insert(b);
+    std::vector<int> result;
+    for (int b : blocks)
+        if (!inner.count(b))
+            result.push_back(b);
+    return result;
+}
+
+std::vector<NaturalLoop>
+findNaturalLoops(const Procedure &proc)
+{
+    const std::vector<int> idom = immediateDominators(proc);
+
+    // collect natural loops per header
+    std::map<int, std::set<int>> loopBlocks;  // header -> body
+    std::map<int, std::vector<int>> latches;
+
+    for (const auto &block : proc.blocks) {
+        if (idom[block.id] < 0)
+            continue; // unreachable
+        for (int succ : block.succs) {
+            if (!dominates(idom, succ, block.id))
+                continue;
+            // back edge block -> succ; natural loop = succ plus all
+            // blocks reaching block without passing through succ
+            auto &body = loopBlocks[succ];
+            latches[succ].push_back(block.id);
+            body.insert(succ);
+            std::vector<int> work;
+            if (!body.count(block.id)) {
+                body.insert(block.id);
+                work.push_back(block.id);
+            }
+            while (!work.empty()) {
+                const int b = work.back();
+                work.pop_back();
+                if (b == succ)
+                    continue;
+                for (int p : proc.blocks[b].preds) {
+                    if (idom[p] < 0 || body.count(p))
+                        continue;
+                    body.insert(p);
+                    work.push_back(p);
+                }
+            }
+        }
+    }
+
+    std::vector<NaturalLoop> loops;
+    for (auto &[header, body] : loopBlocks) {
+        NaturalLoop loop;
+        loop.header = header;
+        loop.blocks.assign(body.begin(), body.end());
+        loop.backedgeSrcs = latches[header];
+        loops.push_back(std::move(loop));
+    }
+
+    // nesting: parent = smallest strict superset containing the header
+    for (std::size_t i = 0; i < loops.size(); i++) {
+        std::size_t best = loops.size();
+        std::size_t bestSize = static_cast<std::size_t>(-1);
+        for (std::size_t j = 0; j < loops.size(); j++) {
+            if (i == j)
+                continue;
+            const auto &a = loops[i].blocks;
+            const auto &b = loops[j].blocks;
+            if (b.size() <= a.size())
+                continue;
+            if (std::includes(b.begin(), b.end(), a.begin(), a.end())) {
+                if (b.size() < bestSize) {
+                    bestSize = b.size();
+                    best = j;
+                }
+            }
+        }
+        if (best < loops.size()) {
+            loops[i].parent = static_cast<int>(best);
+            loops[best].children.push_back(static_cast<int>(i));
+        }
+    }
+    for (auto &loop : loops) {
+        int depth = 1;
+        for (int p = loop.parent; p >= 0; p = loops[p].parent)
+            depth++;
+        loop.depth = depth;
+    }
+    return loops;
+}
+
+} // namespace siq

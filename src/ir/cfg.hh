@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Control-flow analyses over one procedure: reverse post-order,
+ * dominator tree and natural loop discovery.
+ *
+ * The compiler pass of the paper relies on MachineSUIF's natural-loop
+ * library; this module provides the equivalent functionality.
+ */
+
+#ifndef SIQ_IR_CFG_HH
+#define SIQ_IR_CFG_HH
+
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace siq
+{
+
+/** Blocks of @p proc reachable from entry, in reverse post-order. */
+std::vector<int> reversePostOrder(const Procedure &proc);
+
+/**
+ * Immediate dominators (Cooper-Harvey-Kennedy).
+ *
+ * @return idom[b] for every block; entry's idom is itself and
+ *         unreachable blocks get -1.
+ */
+std::vector<int> immediateDominators(const Procedure &proc);
+
+/** True when a dominates b under the given idom relation. */
+bool dominates(const std::vector<int> &idom, int a, int b);
+
+/** One natural loop; blocks with the same header are merged. */
+struct NaturalLoop
+{
+    int header = -1;
+    std::vector<int> blocks;       ///< sorted, includes the header
+    std::vector<int> backedgeSrcs; ///< latch blocks
+    int parent = -1;               ///< index of enclosing loop or -1
+    std::vector<int> children;     ///< indices of directly nested loops
+    int depth = 1;                 ///< 1 = outermost
+
+    bool
+    contains(int block) const
+    {
+        for (int b : blocks)
+            if (b == block)
+                return true;
+        return false;
+    }
+
+    /**
+     * Blocks in this loop but in none of its children — the paper's
+     * "those that are only in the outer loop form another [group]".
+     */
+    std::vector<int> exclusiveBlocks(
+        const std::vector<NaturalLoop> &all) const;
+};
+
+/** Find all natural loops of @p proc, with nesting links resolved. */
+std::vector<NaturalLoop> findNaturalLoops(const Procedure &proc);
+
+} // namespace siq
+
+#endif // SIQ_IR_CFG_HH

@@ -1,0 +1,207 @@
+#include "ir/ddg.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+int
+defaultCompilerLatency(const StaticInst &si, int l1dHitLatency)
+{
+    const auto &t = si.traits();
+    if (t.isLoad)
+        return l1dHitLatency;
+    return t.latency;
+}
+
+namespace
+{
+
+/** Sources read by an instruction (unified register indices). */
+std::array<int, 2>
+readRegs(const StaticInst &si)
+{
+    std::array<int, 2> regs = {-1, -1};
+    const auto &t = si.traits();
+    if (t.readsSrc1 && si.src1 >= 0 && si.src1 != zeroReg)
+        regs[0] = si.src1;
+    if (t.readsSrc2 && si.src2 >= 0 && si.src2 != zeroReg)
+        regs[1] = si.src2;
+    return regs;
+}
+
+struct MemRef
+{
+    int base;
+    std::int64_t offset;
+
+    bool
+    operator<(const MemRef &o) const
+    {
+        return base != o.base ? base < o.base : offset < o.offset;
+    }
+};
+
+} // namespace
+
+Ddg
+buildDdg(const std::vector<const BasicBlock *> &blocks,
+         bool loopCarried, const LatencyFn &latency)
+{
+    const LatencyFn lat = latency
+        ? latency
+        : [](const StaticInst &si) {
+              return defaultCompilerLatency(si);
+          };
+
+    Ddg ddg;
+    for (const BasicBlock *block : blocks) {
+        for (std::size_t i = 0; i < block->insts.size(); i++) {
+            const StaticInst &si = block->insts[i];
+            ddg.addNode({&si, block->id, static_cast<int>(i),
+                         lat(si)});
+        }
+    }
+
+    // intra-region RAW edges: last def wins along the linearization
+    std::vector<int> lastDef(numArchRegs, -1);
+    // static memory dependences: last store per (base, offset) while
+    // the base register is not redefined
+    std::map<MemRef, int> lastStore;
+
+    auto addRaw = [&](int def, int use) {
+        ddg.addEdge(def, use, ddg.nodes[def].latency, 0);
+    };
+
+    for (int n = 0; n < ddg.size(); n++) {
+        const StaticInst &si = *ddg.nodes[n].inst;
+        const auto &t = si.traits();
+        for (int r : readRegs(si)) {
+            if (r >= 0 && lastDef[r] >= 0)
+                addRaw(lastDef[r], n);
+        }
+        if (t.isLoad || t.isStore) {
+            const MemRef ref{si.src1, si.imm};
+            auto it = lastStore.find(ref);
+            if (it != lastStore.end())
+                addRaw(it->second, n);
+            if (t.isStore)
+                lastStore[ref] = n;
+        }
+        if (si.writesLiveReg()) {
+            lastDef[si.dst] = n;
+            // a redefinition of a base register invalidates the static
+            // identity of memory refs through it
+            for (auto it = lastStore.begin(); it != lastStore.end();) {
+                if (it->first.base == si.dst)
+                    it = lastStore.erase(it);
+                else
+                    ++it;
+            }
+        }
+    }
+
+    if (loopCarried) {
+        // defs live at the end of the body reach uses before their
+        // first intra-body def on the next iteration (distance 1)
+        std::vector<int> firstDef(numArchRegs, -1);
+        for (int n = 0; n < ddg.size(); n++) {
+            const StaticInst &si = *ddg.nodes[n].inst;
+            if (si.writesLiveReg() && firstDef[si.dst] < 0)
+                firstDef[si.dst] = n;
+        }
+        for (int n = 0; n < ddg.size(); n++) {
+            const StaticInst &si = *ddg.nodes[n].inst;
+            for (int r : readRegs(si)) {
+                if (r < 0 || lastDef[r] < 0)
+                    continue;
+                // use before (or at) the body's first def of r reads
+                // the previous iteration's value
+                if (firstDef[r] < 0 || n <= firstDef[r]) {
+                    ddg.addEdge(lastDef[r], n,
+                                ddg.nodes[lastDef[r]].latency, 1);
+                }
+            }
+        }
+    }
+    return ddg;
+}
+
+std::vector<std::vector<int>>
+cyclicDependenceSets(const Ddg &ddg)
+{
+    // Tarjan's SCC, iterative
+    const int n = ddg.size();
+    std::vector<int> index(n, -1), low(n, 0);
+    std::vector<char> onStack(n, 0);
+    std::vector<int> sccStack;
+    std::vector<std::vector<int>> components;
+    int counter = 0;
+
+    struct Frame
+    {
+        int node;
+        std::size_t edgeCursor;
+    };
+
+    for (int start = 0; start < n; start++) {
+        if (index[start] >= 0)
+            continue;
+        std::vector<Frame> work;
+        work.push_back({start, 0});
+        index[start] = low[start] = counter++;
+        sccStack.push_back(start);
+        onStack[start] = 1;
+
+        while (!work.empty()) {
+            Frame &f = work.back();
+            const auto &outs = ddg.out(f.node);
+            if (f.edgeCursor < outs.size()) {
+                const int succ = ddg.edges[outs[f.edgeCursor++]].to;
+                if (index[succ] < 0) {
+                    index[succ] = low[succ] = counter++;
+                    sccStack.push_back(succ);
+                    onStack[succ] = 1;
+                    work.push_back({succ, 0});
+                } else if (onStack[succ]) {
+                    low[f.node] = std::min(low[f.node], index[succ]);
+                }
+            } else {
+                if (low[f.node] == index[f.node]) {
+                    std::vector<int> comp;
+                    while (true) {
+                        const int v = sccStack.back();
+                        sccStack.pop_back();
+                        onStack[v] = 0;
+                        comp.push_back(v);
+                        if (v == f.node)
+                            break;
+                    }
+                    std::sort(comp.begin(), comp.end());
+                    // keep only real cycles: >1 node, or a self edge
+                    bool cyclic = comp.size() > 1;
+                    if (!cyclic) {
+                        for (int e : ddg.out(comp[0]))
+                            if (ddg.edges[e].to == comp[0])
+                                cyclic = true;
+                    }
+                    if (cyclic)
+                        components.push_back(std::move(comp));
+                }
+                const int me = f.node;
+                work.pop_back();
+                if (!work.empty()) {
+                    low[work.back().node] =
+                        std::min(low[work.back().node], low[me]);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+} // namespace siq

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Data dependence graph over a linearized instruction region.
+ *
+ * Nodes are instructions in program order (across the region's blocks,
+ * linearized in reverse post-order). Edges carry the producer's
+ * latency and an iteration distance: 0 for intra-iteration RAW
+ * dependences, 1 for loop-carried dependences discovered through the
+ * region's back edge. Memory dependences between statically identical
+ * addresses (same base register and offset, base not redefined in
+ * between) are added conservatively.
+ */
+
+#ifndef SIQ_IR_DDG_HH
+#define SIQ_IR_DDG_HH
+
+#include <functional>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace siq
+{
+
+/** One DDG node: a reference into the region plus its latency. */
+struct DdgNode
+{
+    const StaticInst *inst = nullptr;
+    int blockId = -1;
+    int instIdx = -1; ///< index within the block
+    int latency = 1;  ///< producer latency used for edge weights
+};
+
+/** One dependence edge; latency is the source node's latency. */
+struct DdgEdge
+{
+    int from = -1;
+    int to = -1;
+    int latency = 1;
+    int distance = 0; ///< iterations crossed (0 or 1)
+};
+
+/** Dependence graph with per-node adjacency. */
+class Ddg
+{
+  public:
+    std::vector<DdgNode> nodes;
+    std::vector<DdgEdge> edges;
+
+    int
+    addNode(DdgNode node)
+    {
+        nodes.push_back(node);
+        outEdges.emplace_back();
+        inEdges.emplace_back();
+        return static_cast<int>(nodes.size()) - 1;
+    }
+
+    void
+    addEdge(int from, int to, int latency, int distance)
+    {
+        const int idx = static_cast<int>(edges.size());
+        edges.push_back({from, to, latency, distance});
+        outEdges[from].push_back(idx);
+        inEdges[to].push_back(idx);
+    }
+
+    const std::vector<int> &out(int node) const { return outEdges[node]; }
+    const std::vector<int> &in(int node) const { return inEdges[node]; }
+    int size() const { return static_cast<int>(nodes.size()); }
+
+  private:
+    std::vector<std::vector<int>> outEdges;
+    std::vector<std::vector<int>> inEdges;
+};
+
+/** Latency model used by the compiler (assumes cache hits, paper §4.2). */
+using LatencyFn = std::function<int(const StaticInst &)>;
+
+/** Default latencies: opcode latency, loads cost the L1 hit latency. */
+int defaultCompilerLatency(const StaticInst &si, int l1dHitLatency = 2);
+
+/**
+ * Build the DDG for a region.
+ *
+ * @param blocks region blocks in execution (linearization) order
+ * @param loopCarried also add distance-1 edges through the back edge
+ * @param latency latency model (defaults to defaultCompilerLatency)
+ */
+Ddg buildDdg(const std::vector<const BasicBlock *> &blocks,
+             bool loopCarried,
+             const LatencyFn &latency = {});
+
+/**
+ * Strongly connected components (Tarjan) over edges of any distance.
+ * @return one vector of node ids per SCC; single nodes only included
+ *         when they carry a self edge (so every returned component is
+ *         a cyclic dependence set in the paper's sense).
+ */
+std::vector<std::vector<int>> cyclicDependenceSets(const Ddg &ddg);
+
+} // namespace siq
+
+#endif // SIQ_IR_DDG_HH

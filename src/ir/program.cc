@@ -1,0 +1,106 @@
+#include "ir/program.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+void
+Program::finalize()
+{
+    std::uint64_t pc = 0x1000;
+    for (auto &proc : procs) {
+        for (auto &block : proc.blocks) {
+            block.startPc = pc;
+            for (auto &inst : block.insts) {
+                inst.pc = pc;
+                pc += 4;
+            }
+            block.succs.clear();
+            block.preds.clear();
+        }
+        // page-align procedures so PCs stay distinctive
+        pc = (pc + 0xFFF) & ~0xFFFull;
+    }
+
+    for (auto &proc : procs) {
+        const int nblocks = static_cast<int>(proc.blocks.size());
+        auto addEdge = [&](int from, int to) {
+            SIQ_ASSERT(to >= 0 && to < nblocks,
+                       "bad CFG edge target ", to, " in proc ",
+                       proc.name);
+            auto &s = proc.blocks[from].succs;
+            if (std::find(s.begin(), s.end(), to) == s.end())
+                s.push_back(to);
+            auto &p = proc.blocks[to].preds;
+            if (std::find(p.begin(), p.end(), from) == p.end())
+                p.push_back(from);
+        };
+        for (auto &block : proc.blocks) {
+            const StaticInst *term = block.terminator();
+            if (term == nullptr) {
+                if (block.fallthrough >= 0)
+                    addEdge(block.id, block.fallthrough);
+                continue;
+            }
+            const auto &t = term->traits();
+            if (t.isBranch) {
+                addEdge(block.id, term->target);
+                SIQ_ASSERT(block.fallthrough >= 0,
+                           "branch block needs fallthrough");
+                addEdge(block.id, block.fallthrough);
+            } else if (term->op == Opcode::Jump) {
+                addEdge(block.id, term->target);
+            } else if (term->op == Opcode::IJump) {
+                SIQ_ASSERT(!block.indirectTargets.empty(),
+                           "IJump without a target table");
+                for (int tgt : block.indirectTargets)
+                    addEdge(block.id, tgt);
+            } else if (t.isCall) {
+                // the call returns to the fallthrough block; model the
+                // intra-procedural edge so DAG analysis sees it
+                SIQ_ASSERT(block.fallthrough >= 0,
+                           "call block needs fallthrough");
+                addEdge(block.id, block.fallthrough);
+            }
+            // Ret and Halt have no intra-procedural successor.
+        }
+    }
+
+    validate();
+}
+
+void
+Program::validate() const
+{
+    SIQ_ASSERT(!procs.empty(), "program has no procedures");
+    SIQ_ASSERT(entryProc >= 0 &&
+               entryProc < static_cast<int>(procs.size()),
+               "bad entry procedure");
+    SIQ_ASSERT(memWords > 0, "zero-size memory");
+    for (const auto &proc : procs) {
+        SIQ_ASSERT(!proc.blocks.empty(),
+                   "procedure ", proc.name, " has no blocks");
+        for (std::size_t i = 0; i < proc.blocks.size(); i++) {
+            const auto &block = proc.blocks[i];
+            SIQ_ASSERT(block.id == static_cast<int>(i),
+                       "block id mismatch in ", proc.name);
+            for (std::size_t k = 0; k + 1 < block.insts.size(); k++) {
+                SIQ_ASSERT(!isControl(block.insts[k].op) &&
+                           !block.insts[k].traits().isHalt,
+                           "control transfer mid-block in ",
+                           proc.name, " block ", block.id);
+            }
+            const StaticInst *term = block.terminator();
+            if (term && term->traits().isCall) {
+                SIQ_ASSERT(term->target >= 0 && term->target <
+                           static_cast<int>(procs.size()),
+                           "call to unknown procedure");
+            }
+        }
+    }
+}
+
+} // namespace siq

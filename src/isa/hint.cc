@@ -1,0 +1,45 @@
+#include "isa/hint.hh"
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+namespace
+{
+constexpr std::uint32_t payloadMask = (1u << hintPayloadBits) - 1;
+constexpr int tagShift = 32 - hintPayloadBits;
+} // namespace
+
+std::uint32_t
+encodeHintNoop(std::uint16_t entries)
+{
+    SIQ_ASSERT(entries <= payloadMask, "hint payload overflow: ", entries);
+    return (hintNoopOpcode << 24) | entries;
+}
+
+std::optional<std::uint16_t>
+decodeHintNoop(std::uint32_t word)
+{
+    if ((word >> 24) != hintNoopOpcode)
+        return std::nullopt;
+    return static_cast<std::uint16_t>(word & payloadMask);
+}
+
+std::uint32_t
+encodeTag(std::uint32_t instWord, std::uint16_t entries)
+{
+    SIQ_ASSERT(entries <= payloadMask, "tag payload overflow: ", entries);
+    const std::uint32_t cleared =
+        instWord & ~(payloadMask << tagShift);
+    return cleared | (static_cast<std::uint32_t>(entries) << tagShift);
+}
+
+std::uint16_t
+decodeTag(std::uint32_t instWord)
+{
+    return static_cast<std::uint16_t>(
+        (instWord >> tagShift) & payloadMask);
+}
+
+} // namespace siq

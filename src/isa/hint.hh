@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Binary encodings for the two hint channels of the paper.
+ *
+ * The NOOP scheme encodes max_new_range in the unused bits of a special
+ * NOOP (paper §3: "an opcode and some unused bits, in which the IQ size
+ * is encoded"). The Extension scheme uses redundant bits of ordinary
+ * instructions. Both encodings here are round-trip tested; the rest of
+ * the simulator carries the decoded value for convenience.
+ */
+
+#ifndef SIQ_ISA_HINT_HH
+#define SIQ_ISA_HINT_HH
+
+#include <cstdint>
+#include <optional>
+
+namespace siq
+{
+
+/** Opcode byte reserved for the special NOOP in the binary encoding. */
+constexpr std::uint32_t hintNoopOpcode = 0xFA;
+
+/** Number of payload bits: enough for IQ sizes up to 255 entries. */
+constexpr int hintPayloadBits = 8;
+
+/**
+ * Encode a special NOOP carrying an IQ-entry count.
+ *
+ * @param entries requested max_new_range; must fit hintPayloadBits.
+ * @return the 32-bit instruction word.
+ */
+std::uint32_t encodeHintNoop(std::uint16_t entries);
+
+/**
+ * Decode a 32-bit word as a special NOOP.
+ *
+ * @return the encoded entry count, or nullopt when the word is not a
+ *         special NOOP.
+ */
+std::optional<std::uint16_t> decodeHintNoop(std::uint32_t word);
+
+/**
+ * Attach a hint tag to an ordinary instruction word (Extension scheme).
+ * The tag occupies the top hintPayloadBits that the base ISA leaves
+ * unused; a tag of zero means "no hint".
+ */
+std::uint32_t encodeTag(std::uint32_t instWord, std::uint16_t entries);
+
+/** Extract the Extension-scheme tag (0 when none). */
+std::uint16_t decodeTag(std::uint32_t instWord);
+
+} // namespace siq
+
+#endif // SIQ_ISA_HINT_HH

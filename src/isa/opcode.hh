@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Opcode set and per-opcode traits for the siqsim RISC ISA.
+ *
+ * The ISA is deliberately small: just enough register dataflow, control
+ * flow, memory access and latency variety to drive the paper's compiler
+ * analysis and out-of-order core. Latencies and functional-unit classes
+ * follow Table 1 of the paper.
+ */
+
+#ifndef SIQ_ISA_OPCODE_HH
+#define SIQ_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace siq
+{
+
+/** Functional unit classes (Table 1 of the paper + memory ports). */
+enum class FuClass : std::uint8_t
+{
+    None,     ///< consumes no functional unit (Nop/Hint/Halt)
+    IntAlu,   ///< 6 units, 1-cycle
+    IntMul,   ///< 3 units, 3-cycle multiply (divide shares them)
+    FpAlu,    ///< 4 units, 2-cycle
+    FpMulDiv, ///< 2 units, 4-cycle multiply, 12-cycle divide
+    MemPort,  ///< load/store ports
+    NumClasses
+};
+
+/** All instruction opcodes. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Hint,    ///< special NOOP carrying max_new_range (stripped at decode)
+    MovImm,
+    Add,
+    AddImm,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Slt,
+    FMovImm,
+    FAdd,
+    FMul,
+    FDiv,
+    Load,
+    Store,
+    FLoad,
+    FStore,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Jump,
+    IJump,   ///< indirect jump through a per-block target table
+    Call,
+    Ret,
+    Halt,
+    NumOpcodes
+};
+
+constexpr int numOpcodes = static_cast<int>(Opcode::NumOpcodes);
+
+/** Static properties of one opcode. */
+struct OpTraits
+{
+    std::string_view mnemonic;
+    FuClass fu;
+    int latency;        ///< execution latency in cycles (cache adds more)
+    /** Pipelined units accept a new op every cycle; non-pipelined
+     *  ones (divides, as in SimpleScalar) hold their unit for the
+     *  full latency. */
+    bool pipelined;
+    bool writesDst;
+    bool readsSrc1;
+    bool readsSrc2;
+    bool isBranch;      ///< conditional control flow
+    bool isJump;        ///< unconditional direct control flow
+    bool isIndirect;    ///< target not encoded in the instruction
+    bool isCall;
+    bool isRet;
+    bool isLoad;
+    bool isStore;
+    bool isFp;          ///< writes/reads the FP register file
+    bool isHalt;
+};
+
+/** Trait lookup; total over all opcodes. */
+const OpTraits &opTraits(Opcode op);
+
+/** True for any instruction that may redirect control flow. */
+bool isControl(Opcode op);
+
+/** True for loads and stores. */
+bool isMem(Opcode op);
+
+/** Number of architectural integer registers (r0 is hardwired zero). */
+constexpr int numIntArchRegs = 32;
+/** Number of architectural floating-point registers. */
+constexpr int numFpArchRegs = 32;
+/** Unified architectural register index space: int 0..31, fp 32..63. */
+constexpr int numArchRegs = numIntArchRegs + numFpArchRegs;
+/** First unified index of the FP class. */
+constexpr int fpRegBase = numIntArchRegs;
+/** Register holding constant zero. */
+constexpr int zeroReg = 0;
+
+} // namespace siq
+
+#endif // SIQ_ISA_OPCODE_HH

@@ -1,0 +1,313 @@
+#include "isa/static_inst.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+namespace
+{
+
+std::string
+regName(int reg)
+{
+    if (reg < 0)
+        return "-";
+    std::ostringstream os;
+    if (reg >= fpRegBase)
+        os << 'f' << (reg - fpRegBase);
+    else
+        os << 'r' << reg;
+    return os.str();
+}
+
+StaticInst
+threeReg(Opcode op, int dst, int s1, int s2)
+{
+    StaticInst si;
+    si.op = op;
+    si.dst = static_cast<std::int16_t>(dst);
+    si.src1 = static_cast<std::int16_t>(s1);
+    si.src2 = static_cast<std::int16_t>(s2);
+    return si;
+}
+
+} // namespace
+
+std::string
+StaticInst::disasm() const
+{
+    const auto &t = traits();
+    std::ostringstream os;
+    os << t.mnemonic;
+    if (op == Opcode::Hint) {
+        os << " #" << hintValue;
+        return os.str();
+    }
+    bool first = true;
+    auto emit = [&](const std::string &s) {
+        os << (first ? " " : ", ") << s;
+        first = false;
+    };
+    if (t.writesDst)
+        emit(regName(dst));
+    if (t.isLoad) {
+        emit("[" + regName(src1) + "+" + std::to_string(imm) + "]");
+    } else if (t.isStore) {
+        emit("[" + regName(src1) + "+" + std::to_string(imm) + "]");
+        emit(regName(src2));
+    } else {
+        if (t.readsSrc1)
+            emit(regName(src1));
+        if (t.readsSrc2)
+            emit(regName(src2));
+        if (op == Opcode::MovImm || op == Opcode::AddImm ||
+            op == Opcode::FMovImm || op == Opcode::Shl ||
+            op == Opcode::Shr) {
+            emit(std::to_string(imm));
+        }
+    }
+    if (t.isBranch || op == Opcode::Jump)
+        emit("b" + std::to_string(target));
+    if (t.isCall)
+        emit("p" + std::to_string(target));
+    if (tagHint)
+        os << " {iq=" << tagHint << "}";
+    return os.str();
+}
+
+StaticInst
+makeNop()
+{
+    return StaticInst{};
+}
+
+StaticInst
+makeHint(std::uint16_t entries)
+{
+    StaticInst si;
+    si.op = Opcode::Hint;
+    si.hintValue = entries;
+    return si;
+}
+
+StaticInst
+makeMovImm(int dst, std::int64_t imm)
+{
+    StaticInst si = threeReg(Opcode::MovImm, dst, -1, -1);
+    si.imm = imm;
+    return si;
+}
+
+StaticInst
+makeAdd(int dst, int s1, int s2)
+{
+    return threeReg(Opcode::Add, dst, s1, s2);
+}
+
+StaticInst
+makeAddImm(int dst, int s1, std::int64_t imm)
+{
+    StaticInst si = threeReg(Opcode::AddImm, dst, s1, -1);
+    si.imm = imm;
+    return si;
+}
+
+StaticInst
+makeSub(int dst, int s1, int s2)
+{
+    return threeReg(Opcode::Sub, dst, s1, s2);
+}
+
+StaticInst
+makeMul(int dst, int s1, int s2)
+{
+    return threeReg(Opcode::Mul, dst, s1, s2);
+}
+
+StaticInst
+makeDiv(int dst, int s1, int s2)
+{
+    return threeReg(Opcode::Div, dst, s1, s2);
+}
+
+StaticInst
+makeAnd(int dst, int s1, int s2)
+{
+    return threeReg(Opcode::And, dst, s1, s2);
+}
+
+StaticInst
+makeOr(int dst, int s1, int s2)
+{
+    return threeReg(Opcode::Or, dst, s1, s2);
+}
+
+StaticInst
+makeXor(int dst, int s1, int s2)
+{
+    return threeReg(Opcode::Xor, dst, s1, s2);
+}
+
+StaticInst
+makeShl(int dst, int s1, int shift)
+{
+    StaticInst si = threeReg(Opcode::Shl, dst, s1, -1);
+    si.imm = shift;
+    return si;
+}
+
+StaticInst
+makeShr(int dst, int s1, int shift)
+{
+    StaticInst si = threeReg(Opcode::Shr, dst, s1, -1);
+    si.imm = shift;
+    return si;
+}
+
+StaticInst
+makeSlt(int dst, int s1, int s2)
+{
+    return threeReg(Opcode::Slt, dst, s1, s2);
+}
+
+StaticInst
+makeFMovImm(int fdst, std::int64_t imm)
+{
+    SIQ_ASSERT(fdst >= fpRegBase, "fp dest expected");
+    StaticInst si = threeReg(Opcode::FMovImm, fdst, -1, -1);
+    si.imm = imm;
+    return si;
+}
+
+StaticInst
+makeFAdd(int fdst, int fs1, int fs2)
+{
+    return threeReg(Opcode::FAdd, fdst, fs1, fs2);
+}
+
+StaticInst
+makeFMul(int fdst, int fs1, int fs2)
+{
+    return threeReg(Opcode::FMul, fdst, fs1, fs2);
+}
+
+StaticInst
+makeFDiv(int fdst, int fs1, int fs2)
+{
+    return threeReg(Opcode::FDiv, fdst, fs1, fs2);
+}
+
+StaticInst
+makeLoad(int dst, int base, std::int64_t offset)
+{
+    StaticInst si = threeReg(Opcode::Load, dst, base, -1);
+    si.imm = offset;
+    return si;
+}
+
+StaticInst
+makeStore(int base, int data, std::int64_t offset)
+{
+    StaticInst si = threeReg(Opcode::Store, -1, base, data);
+    si.imm = offset;
+    return si;
+}
+
+StaticInst
+makeFLoad(int fdst, int base, std::int64_t offset)
+{
+    StaticInst si = threeReg(Opcode::FLoad, fdst, base, -1);
+    si.imm = offset;
+    return si;
+}
+
+StaticInst
+makeFStore(int base, int fdata, std::int64_t offset)
+{
+    StaticInst si = threeReg(Opcode::FStore, -1, base, fdata);
+    si.imm = offset;
+    return si;
+}
+
+namespace
+{
+
+StaticInst
+branch(Opcode op, int s1, int s2, int target)
+{
+    StaticInst si = threeReg(op, -1, s1, s2);
+    si.target = target;
+    return si;
+}
+
+} // namespace
+
+StaticInst
+makeBeq(int s1, int s2, int targetBlock)
+{
+    return branch(Opcode::Beq, s1, s2, targetBlock);
+}
+
+StaticInst
+makeBne(int s1, int s2, int targetBlock)
+{
+    return branch(Opcode::Bne, s1, s2, targetBlock);
+}
+
+StaticInst
+makeBlt(int s1, int s2, int targetBlock)
+{
+    return branch(Opcode::Blt, s1, s2, targetBlock);
+}
+
+StaticInst
+makeBge(int s1, int s2, int targetBlock)
+{
+    return branch(Opcode::Bge, s1, s2, targetBlock);
+}
+
+StaticInst
+makeJump(int targetBlock)
+{
+    StaticInst si;
+    si.op = Opcode::Jump;
+    si.target = targetBlock;
+    return si;
+}
+
+StaticInst
+makeIJump(int indexReg)
+{
+    StaticInst si = threeReg(Opcode::IJump, -1, indexReg, -1);
+    return si;
+}
+
+StaticInst
+makeCall(int procId)
+{
+    StaticInst si;
+    si.op = Opcode::Call;
+    si.target = procId;
+    return si;
+}
+
+StaticInst
+makeRet()
+{
+    StaticInst si;
+    si.op = Opcode::Ret;
+    return si;
+}
+
+StaticInst
+makeHalt()
+{
+    StaticInst si;
+    si.op = Opcode::Halt;
+    return si;
+}
+
+} // namespace siq

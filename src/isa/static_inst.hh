@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Static instruction representation plus factory helpers.
+ *
+ * Register fields use the unified architectural index space: integer
+ * registers are 0..31 (r0 reads as zero), floating-point registers are
+ * 32..63. A field of -1 means "not used".
+ */
+
+#ifndef SIQ_ISA_STATIC_INST_HH
+#define SIQ_ISA_STATIC_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+
+namespace siq
+{
+
+/** One static instruction of a program. */
+struct StaticInst
+{
+    Opcode op = Opcode::Nop;
+    std::int16_t dst = -1;   ///< destination register, -1 if none
+    std::int16_t src1 = -1;  ///< first source (address base for mem ops)
+    std::int16_t src2 = -1;  ///< second source (store data register)
+    std::int64_t imm = 0;    ///< immediate / address offset (words)
+    std::int32_t target = -1; ///< block id (branch/jump) or proc id (call)
+    std::uint16_t hintValue = 0; ///< Hint payload: max_new_range
+    std::uint16_t tagHint = 0;   ///< Extension scheme tag (0 = none)
+    std::uint64_t pc = 0;        ///< assigned by Program::finalize()
+
+    const OpTraits &traits() const { return opTraits(op); }
+
+    bool hasDst() const { return traits().writesDst && dst >= 0; }
+
+    /** Effective destination (r0 writes are discarded). */
+    bool
+    writesLiveReg() const
+    {
+        return hasDst() && dst != zeroReg;
+    }
+
+    /** Human-readable form for debugging and golden tests. */
+    std::string disasm() const;
+};
+
+/// @name Factory helpers (keep workload builders terse).
+/// @{
+StaticInst makeNop();
+StaticInst makeHint(std::uint16_t entries);
+StaticInst makeMovImm(int dst, std::int64_t imm);
+StaticInst makeAdd(int dst, int s1, int s2);
+StaticInst makeAddImm(int dst, int s1, std::int64_t imm);
+StaticInst makeSub(int dst, int s1, int s2);
+StaticInst makeMul(int dst, int s1, int s2);
+StaticInst makeDiv(int dst, int s1, int s2);
+StaticInst makeAnd(int dst, int s1, int s2);
+StaticInst makeOr(int dst, int s1, int s2);
+StaticInst makeXor(int dst, int s1, int s2);
+StaticInst makeShl(int dst, int s1, int shift);
+StaticInst makeShr(int dst, int s1, int shift);
+StaticInst makeSlt(int dst, int s1, int s2);
+StaticInst makeFMovImm(int fdst, std::int64_t imm);
+StaticInst makeFAdd(int fdst, int fs1, int fs2);
+StaticInst makeFMul(int fdst, int fs1, int fs2);
+StaticInst makeFDiv(int fdst, int fs1, int fs2);
+StaticInst makeLoad(int dst, int base, std::int64_t offset);
+StaticInst makeStore(int base, int data, std::int64_t offset);
+StaticInst makeFLoad(int fdst, int base, std::int64_t offset);
+StaticInst makeFStore(int base, int fdata, std::int64_t offset);
+StaticInst makeBeq(int s1, int s2, int targetBlock);
+StaticInst makeBne(int s1, int s2, int targetBlock);
+StaticInst makeBlt(int s1, int s2, int targetBlock);
+StaticInst makeBge(int s1, int s2, int targetBlock);
+StaticInst makeJump(int targetBlock);
+StaticInst makeIJump(int indexReg);
+StaticInst makeCall(int procId);
+StaticInst makeRet();
+StaticInst makeHalt();
+/// @}
+
+} // namespace siq
+
+#endif // SIQ_ISA_STATIC_INST_HH

@@ -1,0 +1,100 @@
+#include "power/power.hh"
+
+namespace siq::power
+{
+
+PowerBreakdown
+iqPower(const IqEventCounts &events, const IqPowerParams &params,
+        IqMode mode)
+{
+    PowerBreakdown pb;
+    pb.cycles = events.cycles;
+
+    std::uint64_t comparisons = 0;
+    std::uint64_t bankCycles = 0;
+    std::uint64_t tagDriveBankBroadcasts = 0;
+    const std::uint64_t nbanks =
+        events.cycles ? events.totalBankCycles / events.cycles : 0;
+
+    switch (mode) {
+      case IqMode::Conventional:
+        comparisons = events.cmpConventional;
+        bankCycles = events.totalBankCycles;
+        tagDriveBankBroadcasts = events.broadcasts * nbanks;
+        break;
+      case IqMode::NonEmptyGated:
+        comparisons = events.cmpGated;
+        bankCycles = events.totalBankCycles;
+        tagDriveBankBroadcasts = events.broadcasts * nbanks;
+        break;
+      case IqMode::Resized:
+        comparisons = events.cmpGated;
+        bankCycles = events.poweredBankCycles;
+        // tag drive reaches powered banks only
+        tagDriveBankBroadcasts = events.cycles
+            ? events.broadcasts * events.poweredBankCycles /
+                  events.cycles
+            : 0;
+        break;
+    }
+
+    pb.dynamicEnergy =
+        params.wakeupCmpEnergy * static_cast<double>(comparisons) +
+        params.tagDriveEnergyPerBank *
+            static_cast<double>(tagDriveBankBroadcasts) +
+        params.dispatchWriteEnergy *
+            static_cast<double>(events.dispatchWrites) +
+        params.issueReadEnergy *
+            static_cast<double>(events.issueReads) +
+        params.selectEnergyPerCycle *
+            static_cast<double>(events.cycles) +
+        params.bankClockEnergyPerCycle *
+            static_cast<double>(bankCycles);
+
+    pb.staticEnergy =
+        params.bankLeakPerCycle * static_cast<double>(bankCycles) +
+        params.floorLeakPerCycle * static_cast<double>(events.cycles);
+    return pb;
+}
+
+RfEventCounts
+intRfEvents(const CoreStats &stats)
+{
+    RfEventCounts ev;
+    ev.reads = stats.rfIntReads;
+    ev.writes = stats.rfIntWrites;
+    ev.poweredBankCycles = stats.rfIntPoweredBankCycles;
+    ev.totalBankCycles = stats.rfIntBankCycles;
+    ev.cycles = stats.cycles;
+    return ev;
+}
+
+PowerBreakdown
+rfPower(const RfEventCounts &events, const RfPowerParams &params,
+        bool gated)
+{
+    PowerBreakdown pb;
+    pb.cycles = events.cycles;
+    const std::uint64_t bankCycles =
+        gated ? events.poweredBankCycles : events.totalBankCycles;
+
+    pb.dynamicEnergy =
+        params.readEnergy * static_cast<double>(events.reads) +
+        params.writeEnergy * static_cast<double>(events.writes) +
+        params.bankClockEnergyPerCycle *
+            static_cast<double>(bankCycles);
+    pb.staticEnergy =
+        params.bankLeakPerCycle * static_cast<double>(bankCycles) +
+        params.floorLeakPerCycle * static_cast<double>(events.cycles);
+    return pb;
+}
+
+double
+saving(double baseline, double technique)
+{
+    if (baseline <= 0.0)
+        return 0.0;
+    return 1.0 - technique / baseline;
+}
+
+} // namespace siq::power

@@ -1,0 +1,132 @@
+#include "sim/simulator.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace siq::sim
+{
+
+std::string
+techniqueName(Technique tech)
+{
+    switch (tech) {
+      case Technique::Baseline:
+        return "baseline";
+      case Technique::Noop:
+        return "noop";
+      case Technique::Extension:
+        return "extension";
+      case Technique::Improved:
+        return "improved";
+      case Technique::Abella:
+        return "abella";
+      case Technique::Folegnani:
+        return "folegnani";
+    }
+    return "?";
+}
+
+std::optional<compiler::CompilerConfig>
+compilerConfigFor(Technique tech, const RunConfig &cfg)
+{
+    compiler::CompilerConfig cc;
+    cc.machine.issueWidth = cfg.core.issueWidth;
+    cc.machine.iqSize = cfg.core.iq.numEntries;
+    cc.machine.fuCounts = cfg.core.fuCounts;
+    cc.machine.l1dHitLatency = cfg.core.mem.l1d.hitLatency;
+    cc.minHint = cfg.minHint;
+    cc.elideRedundant = cfg.elideRedundant;
+    cc.unrollFactor = cfg.unrollFactor;
+
+    switch (tech) {
+      case Technique::Noop:
+        cc.scheme = compiler::HintScheme::Noop;
+        return cc;
+      case Technique::Extension:
+        cc.scheme = compiler::HintScheme::Tag;
+        return cc;
+      case Technique::Improved:
+        cc.scheme = compiler::HintScheme::Tag;
+        cc.interprocFu = true;
+        return cc;
+      default:
+        return std::nullopt;
+    }
+}
+
+RunResult
+runOne(const std::string &benchmark, const RunConfig &cfg)
+{
+    RunResult result;
+    result.benchmark = benchmark;
+    result.tech = cfg.tech;
+
+    const auto g0 = std::chrono::steady_clock::now();
+    Program prog = workloads::generate(benchmark, cfg.workload);
+    result.generateSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - g0)
+            .count();
+
+    if (const auto cc = compilerConfigFor(cfg.tech, cfg))
+        result.compile = compiler::annotate(prog, *cc);
+
+    std::unique_ptr<IqLimitController> controller;
+    if (cfg.tech == Technique::Abella) {
+        AbellaConfig ac = cfg.abella;
+        ac.iqSize = cfg.core.iq.numEntries;
+        ac.robSize = cfg.core.robSize;
+        controller = std::make_unique<AbellaResizer>(ac);
+    } else if (cfg.tech == Technique::Folegnani) {
+        FolegnaniConfig fc = cfg.folegnani;
+        fc.iqSize = cfg.core.iq.numEntries;
+        controller = std::make_unique<FolegnaniResizer>(fc);
+    }
+
+    Core core(prog, cfg.core, controller.get());
+    if (cfg.warmupInsts > 0)
+        core.run(cfg.warmupInsts);
+    core.resetStats();
+    core.run(cfg.measureInsts);
+
+    result.stats = core.stats();
+    result.iq = core.iqEvents();
+    return result;
+}
+
+PowerComparison
+comparePower(const RunResult &baseline, const RunResult &technique,
+             const power::IqPowerParams &iqParams,
+             const power::RfPowerParams &rfParams)
+{
+    using power::IqMode;
+
+    PowerComparison cmp;
+    const auto iqBase =
+        power::iqPower(baseline.iq, iqParams, IqMode::Conventional);
+    const auto iqNonEmpty =
+        power::iqPower(baseline.iq, iqParams, IqMode::NonEmptyGated);
+    const auto iqTech =
+        power::iqPower(technique.iq, iqParams, IqMode::Resized);
+
+    cmp.nonEmptySaving = power::saving(iqBase.dynamicPower(),
+                                       iqNonEmpty.dynamicPower());
+    cmp.iqDynamicSaving =
+        power::saving(iqBase.dynamicPower(), iqTech.dynamicPower());
+    cmp.iqStaticSaving =
+        power::saving(iqBase.staticPower(), iqTech.staticPower());
+
+    const auto rfBase = power::rfPower(
+        power::intRfEvents(baseline.stats), rfParams, false);
+    const auto rfTech = power::rfPower(
+        power::intRfEvents(technique.stats), rfParams, true);
+    cmp.rfDynamicSaving =
+        power::saving(rfBase.dynamicPower(), rfTech.dynamicPower());
+    cmp.rfStaticSaving =
+        power::saving(rfBase.staticPower(), rfTech.staticPower());
+    return cmp;
+}
+
+} // namespace siq::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * gap profile: computer-algebra digit arithmetic. Multiply-accumulate
+ * over digit arrays with a serial carry chain — steady IntMul pressure
+ * and a medium, L2-resident working set.
+ */
+
+#include "workloads/detail.hh"
+#include "workloads/workloads.hh"
+
+namespace siq::workloads
+{
+
+Program
+genGap(const WorkloadParams &params)
+{
+    constexpr std::int64_t poolWords = 4096; // digit pool, L1-resident
+    constexpr std::int64_t digits = 64;
+
+    ProgramBuilder b("gap", 1 << 16);
+    const std::uint64_t poolBase = b.alloc(poolWords);
+    const std::uint64_t resultBase = b.alloc(2 * digits);
+
+    b.newProc("main");
+    detail::emitFillArray(b, poolBase, poolWords, 0xFFFFFFFFll,
+                          params.seed);
+
+    b.emit(makeMovImm(21, 0));
+    b.emit(makeMovImm(20, params.reps(9)));
+    auto rep = b.beginLoop(21, 20);
+
+    // 256 number pairs per repetition
+    b.emit(makeMovImm(22, 0));
+    b.emit(makeMovImm(23, 256));
+    auto pair = b.beginLoop(22, 23);
+
+    // select operand bases from the pool
+    b.emit(makeMovImm(5, 2654435761ll));
+    b.emit(makeMul(6, 22, 5));
+    b.emit(makeMovImm(7, poolWords - 2 * digits - 1));
+    b.emit(makeAnd(6, 6, 7));
+    b.emit(makeMovImm(8, static_cast<std::int64_t>(poolBase)));
+    b.emit(makeAdd(9, 8, 6));          // a base
+    b.emit(makeAddImm(10, 9, digits)); // b base
+    b.emit(makeMovImm(11, static_cast<std::int64_t>(resultBase)));
+    b.emit(makeMovImm(12, 0));         // carry
+
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, digits));
+    auto mac = b.beginLoop(1, 2);
+    b.emit(makeAdd(13, 9, 1));
+    b.emit(makeLoad(14, 13, 0));       // da
+    b.emit(makeMovImm(15, 7));
+    b.emit(makeMul(16, 1, 15));
+    b.emit(makeMovImm(15, digits - 1));
+    b.emit(makeAnd(16, 16, 15));
+    b.emit(makeAdd(16, 10, 16));
+    b.emit(makeLoad(17, 16, 0));       // db (permuted index)
+    b.emit(makeMul(18, 14, 17));       // p = da * db
+    b.emit(makeAdd(19, 11, 1));
+    b.emit(makeLoad(24, 19, 0));       // c[i]
+    b.emit(makeAdd(25, 24, 18));
+    b.emit(makeAdd(25, 25, 12));       // + carry (serial chain)
+    b.emit(makeShr(12, 25, 32));       // carry out
+    b.emit(makeMovImm(26, 0xFFFFFFFFll));
+    b.emit(makeAnd(25, 25, 26));
+    b.emit(makeStore(19, 25, 0));      // c[i] = low digit
+    b.endLoop(mac);
+
+    b.emit(makeAdd(28, 28, 12));       // fold final carries
+    b.endLoop(pair);
+    b.endLoop(rep);
+
+    b.emit(makeMovImm(5, 8));
+    b.emit(makeStore(5, 28, 0));
+    b.emit(makeHalt());
+    return b.build();
+}
+
+} // namespace siq::workloads

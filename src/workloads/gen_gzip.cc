@@ -1,0 +1,87 @@
+/**
+ * @file
+ * gzip profile: LZ-style window hashing. High ILP (three independent
+ * loads feed a shift/xor hash), a short data-dependent match check,
+ * mostly L1-resident working set, almost no procedure calls. In the
+ * paper gzip shows low IPC loss and solid power savings because its
+ * wide-but-shallow DDG regions need only a modest number of IQ
+ * entries.
+ */
+
+#include "workloads/detail.hh"
+#include "workloads/workloads.hh"
+
+namespace siq::workloads
+{
+
+Program
+genGzip(const WorkloadParams &params)
+{
+    constexpr std::int64_t window = 4096;
+    constexpr std::int64_t hashSize = 2048;
+
+    ProgramBuilder b("gzip", 1 << 15);
+    const std::uint64_t winBase = b.alloc(window);
+    const std::uint64_t headBase = b.alloc(hashSize);
+    const std::uint64_t prevBase = b.alloc(hashSize);
+
+    b.newProc("main");
+
+    // fill the window with 16-bit noise
+    detail::emitFillArray(b, winBase, window, 0xFFFF, params.seed);
+
+    // r21 = repetition counter, r20 = bound
+    b.emit(makeMovImm(21, 0));
+    b.emit(makeMovImm(20, params.reps(20)));
+    auto rep = b.beginLoop(21, 20);
+
+    // per-position deflate pass
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, window - 3));
+    b.emit(makeMovImm(6, static_cast<std::int64_t>(winBase)));
+    auto pos = b.beginLoop(1, 2);
+
+    b.emit(makeAdd(3, 6, 1));          // addr = window + i
+    b.emit(makeLoad(7, 3, 0));         // w0
+    b.emit(makeLoad(8, 3, 1));         // w1
+    b.emit(makeLoad(9, 3, 2));         // w2
+    b.emit(makeShl(10, 8, 5));
+    b.emit(makeShl(11, 9, 10));
+    b.emit(makeXor(12, 7, 10));
+    b.emit(makeXor(12, 12, 11));
+    b.emit(makeMovImm(13, hashSize - 1));
+    b.emit(makeAnd(12, 12, 13));       // hash
+    b.emit(makeMovImm(14, static_cast<std::int64_t>(headBase)));
+    b.emit(makeAdd(14, 14, 12));
+    b.emit(makeLoad(15, 14, 0));       // h = head[hash]
+    b.emit(makeMovImm(16, static_cast<std::int64_t>(prevBase)));
+    b.emit(makeAnd(18, 1, 13));
+    b.emit(makeAdd(16, 16, 18));
+    b.emit(makeStore(16, 15, 0));      // prev[i & mask] = h
+    b.emit(makeStore(14, 1, 0));       // head[hash] = i
+
+    // match check when a chain head exists (usually taken: ~94%)
+    auto d = b.beginIf(makeBne(15, 0, -1));
+    b.emit(makeAnd(19, 15, 13));       // clamp candidate into window
+    b.emit(makeAdd(22, 6, 19));
+    b.emit(makeLoad(23, 22, 0));
+    b.emit(makeLoad(24, 22, 1));
+    b.emit(makeSub(25, 23, 7));
+    b.emit(makeSub(26, 24, 8));
+    b.emit(makeAdd(27, 25, 26));
+    b.emit(makeAdd(28, 28, 27));       // accumulate match metric
+    b.elseBranch(d);
+    b.emit(makeAddImm(28, 28, 1));
+    b.joinUp(d);
+
+    b.endLoop(pos);
+    b.endLoop(rep);
+
+    // publish the checksum so the functional tests can observe it
+    b.emit(makeMovImm(5, 8));
+    b.emit(makeStore(5, 28, 0));
+    b.emit(makeHalt());
+    return b.build();
+}
+
+} // namespace siq::workloads

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * vpr profile: placement cost estimation. Integer bounding-box work
+ * with data-dependent absolute-value branches, plus a floating-point
+ * accumulate with an occasional divide, over an L2-resident net array.
+ */
+
+#include <bit>
+
+#include "workloads/detail.hh"
+#include "workloads/workloads.hh"
+
+namespace siq::workloads
+{
+
+Program
+genVpr(const WorkloadParams &params)
+{
+    // L1-resident: SPECint hot loops mostly hit a 64 KiB L1, and the
+    // compiler assumes hits (paper section 4.2)
+    constexpr std::int64_t numNets = 1024;
+
+    ProgramBuilder b("vpr", 1 << 16);
+    const std::uint64_t netsBase = b.alloc(4 * numNets);
+    const std::uint64_t wireBase = b.alloc(numNets);
+
+    // pre-baked fp wire lengths
+    for (std::int64_t i = 0; i < numNets; i++) {
+        const double v = 1.0 + static_cast<double>((i * 37) & 255);
+        b.initMem(wireBase + static_cast<std::uint64_t>(i),
+                  std::bit_cast<std::int64_t>(v));
+    }
+
+    b.newProc("main");
+    // nets hold coordinates in [0, 1023]
+    detail::emitFillArray(b, netsBase, 4 * numNets, 1023, params.seed);
+
+    constexpr int fAcc = fpRegBase + 1;
+    constexpr int fTmp = fpRegBase + 2;
+    constexpr int fScale = fpRegBase + 3;
+    constexpr int fTwo = fpRegBase + 4;
+    b.emit(makeFMovImm(fAcc, 0));
+    b.emit(makeFMovImm(fScale, 3));
+    b.emit(makeFMovImm(fTwo, 2));
+
+    b.emit(makeMovImm(21, 0));
+    b.emit(makeMovImm(20, params.reps(28)));
+    auto rep = b.beginLoop(21, 20);
+
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, numNets));
+    b.emit(makeMovImm(6, static_cast<std::int64_t>(netsBase)));
+    b.emit(makeMovImm(16, static_cast<std::int64_t>(wireBase)));
+    auto net = b.beginLoop(1, 2);
+
+    b.emit(makeShl(3, 1, 2));
+    b.emit(makeAdd(3, 3, 6));          // &nets[i]
+    b.emit(makeLoad(7, 3, 0));         // x1
+    b.emit(makeLoad(8, 3, 1));         // y1
+    b.emit(makeLoad(9, 3, 2));         // x2
+    b.emit(makeLoad(10, 3, 3));        // y2
+
+    b.emit(makeSub(11, 7, 9));         // dx
+    auto dAbsX = b.beginIf(makeBge(11, 0, -1));
+    b.elseBranch(dAbsX);
+    b.emit(makeSub(11, 0, 11));
+    b.joinUp(dAbsX);
+
+    b.emit(makeSub(12, 8, 10));        // dy
+    auto dAbsY = b.beginIf(makeBge(12, 0, -1));
+    b.elseBranch(dAbsY);
+    b.emit(makeSub(12, 0, 12));
+    b.joinUp(dAbsY);
+
+    b.emit(makeAdd(13, 11, 12));       // half-perimeter
+    b.emit(makeAdd(28, 28, 13));       // int cost accumulator
+
+    // fp contribution: acc += wire[i] * scale
+    b.emit(makeAdd(17, 16, 1));
+    b.emit(makeFLoad(fTmp, 17, 0));
+    b.emit(makeFMul(fTmp, fTmp, fScale));
+    b.emit(makeFAdd(fAcc, fAcc, fTmp));
+
+    // periodic renormalisation with a divide (1 in 32 iterations)
+    b.emit(makeMovImm(14, 31));
+    b.emit(makeAnd(14, 1, 14));
+    auto dDiv = b.beginIf(makeBne(14, 0, -1));
+    b.elseBranch(dDiv);
+    b.emit(makeFDiv(fAcc, fAcc, fTwo));
+    b.joinUp(dDiv);
+
+    // write the updated cost back every 4th net
+    b.emit(makeMovImm(15, 3));
+    b.emit(makeAnd(15, 1, 15));
+    auto dSt = b.beginIf(makeBne(15, 0, -1));
+    b.elseBranch(dSt);
+    b.emit(makeStore(3, 13, 3));
+    b.joinUp(dSt);
+
+    b.endLoop(net);
+    b.endLoop(rep);
+
+    b.emit(makeMovImm(5, 8));
+    b.emit(makeStore(5, 28, 0));
+    b.emit(makeHalt());
+    return b.build();
+}
+
+} // namespace siq::workloads

@@ -1,0 +1,46 @@
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace siq::workloads
+{
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "gzip", "vpr",     "gcc", "mcf",    "crafty", "parser",
+        "perlbmk", "gap", "vortex", "bzip2", "twolf",
+    };
+    return names;
+}
+
+Program
+generate(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "gzip")
+        return genGzip(params);
+    if (name == "vpr")
+        return genVpr(params);
+    if (name == "gcc")
+        return genGcc(params);
+    if (name == "mcf")
+        return genMcf(params);
+    if (name == "crafty")
+        return genCrafty(params);
+    if (name == "parser")
+        return genParser(params);
+    if (name == "perlbmk")
+        return genPerlbmk(params);
+    if (name == "gap")
+        return genGap(params);
+    if (name == "vortex")
+        return genVortex(params);
+    if (name == "bzip2")
+        return genBzip2(params);
+    if (name == "twolf")
+        return genTwolf(params);
+    fatal("unknown workload: ", name);
+}
+
+} // namespace siq::workloads

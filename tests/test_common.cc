@@ -1,0 +1,152 @@
+/** @file Unit tests for the common support library. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace siq
+{
+namespace
+{
+
+TEST(Stats, ScalarCountsAndResets)
+{
+    stats::Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    s++;
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 7u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, AverageMean)
+{
+    stats::Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Stats, DistributionBucketsAndFraction)
+{
+    stats::Distribution d(0.0, 10.0, 10);
+    for (int i = 0; i < 10; i++)
+        d.sample(i + 0.5);
+    EXPECT_EQ(d.count(), 10u);
+    EXPECT_DOUBLE_EQ(d.fractionBelow(5.0), 0.5);
+    EXPECT_NEAR(d.mean(), 5.0, 1e-9);
+    d.sample(-1.0);
+    d.sample(100.0);
+    EXPECT_EQ(d.count(), 12u);
+}
+
+TEST(Stats, GroupDumpAndReset)
+{
+    stats::Group g("core");
+    stats::Scalar s;
+    s += 3;
+    g.addScalar("committed", &s);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "core.committed 3\n");
+    g.resetAll();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; i++) {
+        const auto v = r.range(3, 6);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 6);
+        sawLo |= v == 3;
+        sawHi |= v == 6;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ChanceIsCalibrated)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; i++)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const auto out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // header + separator + two rows
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, PercentHelper)
+{
+    EXPECT_EQ(Table::pct(0.4719), "47.2%");
+    EXPECT_EQ(Table::fmt(1.005, 2), "1.00");
+}
+
+TEST(Logging, FatalThrowsRecoverableError)
+{
+    EXPECT_THROW(fatal("bad config ", 42), FatalError);
+    try {
+        fatal("value=", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7");
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    SIQ_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("broken invariant"), "panic");
+}
+
+TEST(LoggingDeathTest, AssertAborts)
+{
+    EXPECT_DEATH(SIQ_ASSERT(false, "must die"), "assertion failed");
+}
+
+} // namespace
+} // namespace siq

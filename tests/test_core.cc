@@ -1,0 +1,277 @@
+/**
+ * @file
+ * End-to-end core tests on small hand-built programs: functional
+ * equivalence with the reference interpreter, timing sanity, hint
+ * semantics (including the range invariant), mispredict penalties and
+ * non-pipelined FU occupancy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "ir/exec.hh"
+#include "workloads/builder.hh"
+
+namespace siq
+{
+namespace
+{
+
+/** Run both the interpreter and the core; compare checksum memory. */
+void
+expectFunctionalMatch(const Program &prog,
+                      const CoreConfig &cfg = CoreConfig{})
+{
+    ExecContext ref(prog);
+    while (!ref.halted())
+        ref.step();
+
+    Core core(prog, cfg);
+    core.run(1u << 24);
+    ASSERT_TRUE(core.done());
+    for (std::uint64_t a = 0; a < 32; a++)
+        EXPECT_EQ(core.exec().readMem(a), ref.readMem(a))
+            << "word " << a;
+}
+
+Program
+sumLoop(int iters)
+{
+    ProgramBuilder b("sum", 256);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, iters));
+    auto loop = b.beginLoop(1, 2);
+    b.emit(makeAdd(3, 3, 1));
+    b.endLoop(loop);
+    b.emit(makeMovImm(4, 8));
+    b.emit(makeStore(4, 3, 0));
+    b.emit(makeHalt());
+    return b.build();
+}
+
+TEST(Core, SumLoopFunctionalAndTerminates)
+{
+    expectFunctionalMatch(sumLoop(100));
+}
+
+TEST(Core, IpcWithinPhysicalBounds)
+{
+    const Program prog = sumLoop(2000);
+    Core core(prog, CoreConfig{});
+    core.run(1u << 24);
+    const auto &s = core.stats();
+    EXPECT_GT(s.ipc(), 0.5);
+    EXPECT_LE(s.ipc(), 8.0);
+    EXPECT_EQ(s.committed, core.exec().instsExecuted());
+}
+
+TEST(Core, HintNoopConsumesDispatchSlotButNeverCommits)
+{
+    ProgramBuilder b("hints", 64);
+    b.newProc("main");
+    for (int i = 0; i < 4; i++) {
+        b.emit(makeHint(8));
+        b.emit(makeAddImm(1, 1, 1));
+    }
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    Core core(prog, CoreConfig{});
+    core.run(1u << 20);
+    ASSERT_TRUE(core.done());
+    EXPECT_EQ(core.stats().hintsApplied, 4u);
+    // 4 adds + halt commit; hints do not
+    EXPECT_EQ(core.stats().committed, 5u);
+    EXPECT_EQ(core.exec().intReg(1), 4);
+}
+
+TEST(Core, TagHintAppliesWithoutDispatchSlot)
+{
+    ProgramBuilder b("tags", 64);
+    b.newProc("main");
+    StaticInst tagged = makeAddImm(1, 1, 1);
+    tagged.tagHint = 6;
+    b.emit(tagged);
+    b.emit(makeAddImm(1, 1, 1));
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    Core core(prog, CoreConfig{});
+    core.run(1u << 20);
+    EXPECT_EQ(core.stats().hintsApplied, 1u);
+    EXPECT_EQ(core.exec().intReg(1), 2);
+    EXPECT_EQ(core.issueQueue().currentRange(), 6);
+}
+
+/** A long chain of dependent adds behind a tiny range. */
+TEST(Core, TinyRangeThrottlesButNeverDeadlocks)
+{
+    ProgramBuilder b("tiny", 64);
+    b.newProc("main");
+    b.emit(makeHint(1)); // pathological: one entry at a time
+    for (int i = 0; i < 64; i++)
+        b.emit(makeAddImm(1, 1, 1));
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    Core core(prog, CoreConfig{});
+    core.run(1u << 22);
+    ASSERT_TRUE(core.done());
+    EXPECT_EQ(core.exec().intReg(1), 64);
+    EXPECT_GT(core.stats().dispatchStallRange, 0u);
+}
+
+TEST(Core, RangeInvariantHoldsEveryCycle)
+{
+    // run a hinted program tick by tick and check the hardware
+    // invariant dist(new_head, tail) <= max_new_range
+    ProgramBuilder b("inv", 256);
+    b.newProc("main");
+    b.emit(makeHint(5));
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, 200));
+    auto loop = b.beginLoop(1, 2);
+    b.emit(makeMul(3, 1, 1));
+    b.emit(makeAdd(4, 4, 3));
+    b.endLoop(loop);
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    Core core(prog, CoreConfig{});
+    while (!core.done()) {
+        core.tick();
+        EXPECT_LE(core.issueQueue().distNewHeadToTail(),
+                  core.issueQueue().currentRange());
+        ASSERT_LT(core.cycle(), 100000u);
+    }
+}
+
+TEST(Core, MispredictsCostCycles)
+{
+    // data-dependent 50/50 branch on LCG noise vs the same amount of
+    // work with an always-taken pattern
+    auto build = [](bool noisy) {
+        ProgramBuilder b("br", 256);
+        b.newProc("main");
+        b.emit(makeMovImm(4, 12345));
+        b.emit(makeMovImm(1, 0));
+        b.emit(makeMovImm(2, 3000));
+        auto loop = b.beginLoop(1, 2);
+        b.emit(makeMovImm(5, 6364136223846793005ll));
+        b.emit(makeMul(4, 4, 5));
+        b.emit(makeAddImm(4, 4, 1442695040888963407ll));
+        b.emit(makeShr(6, 4, 62));
+        if (noisy) {
+            b.emit(makeMovImm(7, 2));
+        } else {
+            b.emit(makeMovImm(7, 100)); // never below: predictable
+        }
+        auto d = b.beginIf(makeBlt(6, 7, -1));
+        b.emit(makeAddImm(8, 8, 1));
+        b.elseBranch(d);
+        b.emit(makeAddImm(8, 8, 2));
+        b.joinUp(d);
+        b.endLoop(loop);
+        b.emit(makeHalt());
+        return b.build();
+    };
+    const Program predictableProg = build(false);
+    Core predictable(predictableProg, CoreConfig{});
+    predictable.run(1u << 24);
+    const Program noisyProg = build(true);
+    Core noisy(noisyProg, CoreConfig{});
+    noisy.run(1u << 24);
+    EXPECT_GT(noisy.stats().branchMispredicts,
+              predictable.stats().branchMispredicts + 100);
+    EXPECT_LT(noisy.stats().ipc(), predictable.stats().ipc());
+}
+
+TEST(Core, NonPipelinedDividesSerializeOnUnits)
+{
+    // 8 independent divides on 3 IntMul units: at most 3 in flight,
+    // so the run needs at least ceil(8/3) * 12 cycles
+    ProgramBuilder b("div", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 1000));
+    b.emit(makeMovImm(2, 7));
+    for (int i = 0; i < 8; i++)
+        b.emit(makeDiv(10 + i, 1, 2));
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    Core core(prog, CoreConfig{});
+    core.run(1u << 20);
+    ASSERT_TRUE(core.done());
+    EXPECT_GE(core.cycle(), 3u * 12u);
+    EXPECT_EQ(core.exec().intReg(10), 142);
+}
+
+TEST(Core, StoreToLoadForwardingHappens)
+{
+    ProgramBuilder b("fwd", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 16));
+    b.emit(makeMovImm(2, 99));
+    b.emit(makeStore(1, 2, 0));
+    b.emit(makeLoad(3, 1, 0)); // same address: forwards
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    Core core(prog, CoreConfig{});
+    core.run(1u << 20);
+    EXPECT_EQ(core.exec().intReg(3), 99);
+    EXPECT_EQ(core.stats().loadForwards, 1u);
+}
+
+TEST(Core, CallsReturnThroughRas)
+{
+    ProgramBuilder b("ras", 64);
+    const int leaf = b.newProc("leaf");
+    b.emit(makeAddImm(9, 9, 1));
+    b.emit(makeRet());
+    const int mainP = b.newProc("main");
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, 50));
+    auto loop = b.beginLoop(1, 2);
+    b.callProc(leaf);
+    b.endLoop(loop);
+    b.emit(makeHalt());
+    Program prog = b.build();
+    prog.entryProc = mainP;
+    Core core(prog, CoreConfig{});
+    core.run(1u << 22);
+    ASSERT_TRUE(core.done());
+    EXPECT_EQ(core.exec().intReg(9), 50);
+    // after warm-up the RAS should predict nearly every return
+    EXPECT_LT(core.stats().branchMispredicts, 10u);
+}
+
+TEST(Core, ResetStatsPreservesArchState)
+{
+    const Program prog = sumLoop(500);
+    Core core(prog, CoreConfig{});
+    core.run(200);
+    core.resetStats();
+    EXPECT_EQ(core.stats().committed, 0u);
+    core.run(1u << 24);
+    ASSERT_TRUE(core.done());
+    ExecContext ref(prog);
+    while (!ref.halted())
+        ref.step();
+    EXPECT_EQ(core.exec().readMem(8), ref.readMem(8));
+}
+
+TEST(Core, FunctionalMatchUnderManyConfigs)
+{
+    const Program prog = sumLoop(300);
+    for (int iqSize : {16, 40, 80}) {
+        CoreConfig cfg;
+        cfg.iq.numEntries = iqSize;
+        cfg.iq.bankSize = 8;
+        expectFunctionalMatch(prog, cfg);
+    }
+    CoreConfig narrow;
+    narrow.fetchWidth = 2;
+    narrow.dispatchWidth = 2;
+    narrow.issueWidth = 2;
+    narrow.commitWidth = 2;
+    expectFunctionalMatch(prog, narrow);
+}
+
+} // namespace
+} // namespace siq

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Issue queue mechanics: the paper's figure 2 (new_head and
+ * max_new_range), head/tail movement over holes, bank gating and
+ * wake-up accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/iq.hh"
+
+namespace siq
+{
+namespace
+{
+
+IqConfig
+smallIq()
+{
+    IqConfig cfg;
+    cfg.numEntries = 16;
+    cfg.bankSize = 4;
+    return cfg;
+}
+
+TEST(IssueQueue, DispatchFillsTail)
+{
+    IssueQueue iq(smallIq());
+    const int s0 = iq.dispatch(0, -1, true, -1, true, 0);
+    const int s1 = iq.dispatch(1, -1, true, -1, true, 1);
+    EXPECT_EQ(s0, 0);
+    EXPECT_EQ(s1, 1);
+    EXPECT_EQ(iq.validCount(), 2);
+    EXPECT_EQ(iq.regionSize(), 2);
+}
+
+TEST(IssueQueue, RegionFullEvenWithHoles)
+{
+    IqConfig cfg = smallIq();
+    IssueQueue iq(cfg);
+    for (int i = 0; i < cfg.numEntries; i++)
+        iq.dispatch(i, -1, true, -1, true, i);
+    EXPECT_TRUE(iq.regionFull());
+    // issue something in the middle: still full (non-collapsible)
+    iq.markIssued(5);
+    EXPECT_TRUE(iq.regionFull());
+    EXPECT_EQ(iq.validCount(), cfg.numEntries - 1);
+    // issuing the head frees region space (head skips the hole at 5)
+    iq.markIssued(0);
+    EXPECT_FALSE(iq.regionFull());
+}
+
+TEST(IssueQueue, HeadSkipsHolesUpToNextValid)
+{
+    IssueQueue iq(smallIq());
+    for (int i = 0; i < 6; i++)
+        iq.dispatch(i, -1, true, -1, true, i);
+    iq.markIssued(1);
+    iq.markIssued(2);
+    EXPECT_EQ(iq.headSlot(), 0);
+    iq.markIssued(0);
+    EXPECT_EQ(iq.headSlot(), 3) << "head advances over the holes";
+    EXPECT_EQ(iq.regionSize(), 3);
+}
+
+TEST(IssueQueue, Figure2NewHeadOperation)
+{
+    // figure 2: max_new_range = 4; entries a,[holes],d in the new
+    // region; when a issues, new_head moves up to d and three more
+    // instructions may dispatch
+    IqConfig cfg;
+    cfg.numEntries = 16;
+    cfg.bankSize = 4;
+    IssueQueue iq(cfg);
+    iq.applyHint(4);
+    const int a = iq.dispatch(0, -1, true, -1, true, 0); // a
+    const int bSlot = iq.dispatch(1, -1, true, -1, true, 1);
+    const int c = iq.dispatch(2, -1, true, -1, true, 2);
+    iq.dispatch(3, -1, true, -1, true, 3);               // d
+    EXPECT_TRUE(iq.rangeBlocked()) << "four entries in range 4";
+    EXPECT_FALSE(iq.canDispatch());
+    // b and c issued earlier, leaving holes (figure 2(a))
+    iq.markIssued(bSlot);
+    iq.markIssued(c);
+    EXPECT_TRUE(iq.rangeBlocked())
+        << "holes still count against the range";
+    // a issues: new_head moves three slots, up to d
+    iq.markIssued(a);
+    EXPECT_EQ(iq.newHeadSlot(), 3);
+    EXPECT_EQ(iq.distNewHeadToTail(), 1);
+    // so up to three more instructions can be dispatched (e, f, g)
+    for (int i = 4; i < 7; i++) {
+        EXPECT_TRUE(iq.canDispatch()) << "entry " << i;
+        iq.dispatch(i, -1, true, -1, true, i);
+    }
+    EXPECT_TRUE(iq.rangeBlocked());
+}
+
+TEST(IssueQueue, HintResetsNewHeadToTail)
+{
+    IssueQueue iq(smallIq());
+    for (int i = 0; i < 5; i++)
+        iq.dispatch(i, -1, true, -1, true, i);
+    iq.applyHint(2);
+    EXPECT_EQ(iq.distNewHeadToTail(), 0)
+        << "older instructions no longer count against the range";
+    iq.dispatch(5, -1, true, -1, true, 5);
+    iq.dispatch(6, -1, true, -1, true, 6);
+    EXPECT_TRUE(iq.rangeBlocked());
+    EXPECT_EQ(iq.validCount(), 7);
+}
+
+TEST(IssueQueue, HintValueClamped)
+{
+    IssueQueue iq(smallIq());
+    iq.applyHint(0);
+    EXPECT_EQ(iq.currentRange(), 1);
+    iq.applyHint(1000);
+    EXPECT_EQ(iq.currentRange(), 16);
+}
+
+TEST(IssueQueue, WakeupSetsReadyAndCounts)
+{
+    IssueQueue iq(smallIq());
+    iq.dispatch(0, 7, false, 9, false, 0);
+    iq.dispatch(1, 7, false, -1, true, 1);
+    iq.wakeup(7);
+    auto &ev = iq.events;
+    EXPECT_EQ(ev.broadcasts, 1u);
+    // three non-ready operands compared (entry0: two, entry1: one)
+    EXPECT_EQ(ev.cmpGated, 3u);
+    // conventional CAM: 2 operands x 16 slots
+    EXPECT_EQ(ev.cmpConventional, 32u);
+    // one powered bank (both entries in bank 0): 2 x 4 slots
+    EXPECT_EQ(ev.cmpPowered, 8u);
+    std::vector<IssueQueue::Candidate> ready;
+    iq.collectReady(ready);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].robIdx, 1) << "entry 0 still waits on tag 9";
+    iq.wakeup(9);
+    iq.collectReady(ready);
+    EXPECT_EQ(ready.size(), 2u);
+}
+
+TEST(IssueQueue, BankGatingFollowsOccupancy)
+{
+    IqConfig cfg = smallIq(); // 4 banks of 4
+    IssueQueue iq(cfg);
+    EXPECT_EQ(iq.poweredBanks(), 0);
+    std::vector<int> slots;
+    for (int i = 0; i < 9; i++)
+        slots.push_back(iq.dispatch(i, -1, true, -1, true, i));
+    EXPECT_EQ(iq.poweredBanks(), 3); // slots 0..8 span 3 banks
+    for (int i = 0; i < 4; i++)
+        iq.markIssued(slots[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(iq.poweredBanks(), 2) << "bank 0 empties and gates off";
+}
+
+TEST(IssueQueue, CollectReadyIsOldestFirst)
+{
+    IssueQueue iq(smallIq());
+    iq.dispatch(10, -1, true, -1, true, 100);
+    iq.dispatch(11, -1, true, -1, true, 101);
+    iq.dispatch(12, -1, true, -1, true, 102);
+    std::vector<IssueQueue::Candidate> ready;
+    iq.collectReady(ready);
+    ASSERT_EQ(ready.size(), 3u);
+    EXPECT_EQ(ready[0].robIdx, 10);
+    EXPECT_EQ(ready[1].robIdx, 11);
+    EXPECT_EQ(ready[2].robIdx, 12);
+    EXPECT_EQ(ready[0].distFromHead, 0);
+    EXPECT_EQ(ready[2].distFromHead, 2);
+}
+
+TEST(IssueQueue, WrapAroundKeepsInvariants)
+{
+    IqConfig cfg = smallIq();
+    IssueQueue iq(cfg);
+    // repeatedly fill and drain across the wrap point
+    std::uint64_t seq = 0;
+    for (int round = 0; round < 10; round++) {
+        std::vector<int> slots;
+        for (int i = 0; i < 12; i++) {
+            ASSERT_TRUE(iq.canDispatch());
+            slots.push_back(
+                iq.dispatch(static_cast<int>(seq % 128), -1, true,
+                            -1, true, seq));
+            seq++;
+        }
+        // issue out of order: odd then even
+        for (std::size_t i = 1; i < slots.size(); i += 2)
+            iq.markIssued(slots[i]);
+        for (std::size_t i = 0; i < slots.size(); i += 2)
+            iq.markIssued(slots[i]);
+        EXPECT_EQ(iq.validCount(), 0);
+        EXPECT_EQ(iq.regionSize(), 0);
+    }
+}
+
+TEST(IssueQueue, TickStatsAccumulate)
+{
+    IssueQueue iq(smallIq());
+    iq.dispatch(0, -1, true, -1, true, 0);
+    iq.tickStats();
+    iq.tickStats();
+    EXPECT_EQ(iq.events.cycles, 2u);
+    EXPECT_EQ(iq.events.occupancySum, 2u);
+    EXPECT_EQ(iq.events.poweredBankCycles, 2u);
+    EXPECT_EQ(iq.events.totalBankCycles, 8u);
+}
+
+} // namespace
+} // namespace siq

@@ -1,0 +1,347 @@
+/** @file IR tests: CFG building, exec semantics, dominators, loops,
+ *  DDG construction and SCC discovery. */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg.hh"
+#include "ir/ddg.hh"
+#include "ir/exec.hh"
+#include "workloads/builder.hh"
+
+namespace siq
+{
+namespace
+{
+
+/** main: r1 = 5; r2 = r1 + 3; mem[4] = r2; halt */
+Program
+straightLine()
+{
+    ProgramBuilder b("straight", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 5));
+    b.emit(makeAddImm(2, 1, 3));
+    b.emit(makeMovImm(3, 4));
+    b.emit(makeStore(3, 2, 0));
+    b.emit(makeHalt());
+    return b.build();
+}
+
+TEST(Exec, StraightLineSemantics)
+{
+    const Program prog = straightLine();
+    ExecContext ctx(prog);
+    while (!ctx.halted())
+        ctx.step();
+    EXPECT_EQ(ctx.intReg(1), 5);
+    EXPECT_EQ(ctx.intReg(2), 8);
+    EXPECT_EQ(ctx.readMem(4), 8);
+    EXPECT_EQ(ctx.instsExecuted(), 5u);
+}
+
+TEST(Exec, ZeroRegisterReadsZeroAndIgnoresWrites)
+{
+    ProgramBuilder b("zero", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(0, 99)); // discarded
+    b.emit(makeAddImm(1, 0, 7));
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    ExecContext ctx(prog);
+    while (!ctx.halted())
+        ctx.step();
+    EXPECT_EQ(ctx.intReg(0), 0);
+    EXPECT_EQ(ctx.intReg(1), 7);
+}
+
+TEST(Exec, LoopRunsToCompletion)
+{
+    ProgramBuilder b("loop", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, 10));
+    auto loop = b.beginLoop(1, 2);
+    b.emit(makeAddImm(3, 3, 2)); // r3 += 2 each iteration
+    b.endLoop(loop);
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    ExecContext ctx(prog);
+    while (!ctx.halted())
+        ctx.step();
+    EXPECT_EQ(ctx.intReg(3), 20);
+    EXPECT_EQ(ctx.intReg(1), 10);
+}
+
+TEST(Exec, CallAndReturnThroughNestedProcedures)
+{
+    ProgramBuilder b("calls", 64);
+    const int inner = b.newProc("inner");
+    b.emit(makeAddImm(5, 5, 1));
+    b.emit(makeRet());
+    const int outer = b.newProc("outer");
+    b.callProc(inner);
+    b.callProc(inner);
+    b.emit(makeRet());
+    const int mainP = b.newProc("main");
+    b.callProc(outer);
+    b.emit(makeHalt());
+    (void)mainP;
+    Program prog = b.build();
+    prog.entryProc = mainP;
+    ExecContext ctx(prog);
+    while (!ctx.halted())
+        ctx.step();
+    EXPECT_EQ(ctx.intReg(5), 2);
+    EXPECT_EQ(ctx.callDepth(), 0u);
+    (void)outer;
+}
+
+TEST(Exec, IndirectJumpSelectsByRegister)
+{
+    ProgramBuilder b("switch", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 2)); // select case 2
+    auto sw = b.beginSwitch(1, 3);
+    for (int c = 0; c < 3; c++) {
+        b.switchTo(sw.cases[static_cast<std::size_t>(c)]);
+        b.emit(makeMovImm(9, 100 + c));
+        b.jumpTo(sw.join);
+    }
+    b.switchTo(sw.join);
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    ExecContext ctx(prog);
+    while (!ctx.halted())
+        ctx.step();
+    EXPECT_EQ(ctx.intReg(9), 102);
+}
+
+TEST(Exec, AddressesWrapModuloMemory)
+{
+    ProgramBuilder b("wrap", 16);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 16 + 3)); // wraps to word 3
+    b.emit(makeMovImm(2, 77));
+    b.emit(makeStore(1, 2, 0));
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    ExecContext ctx(prog);
+    while (!ctx.halted())
+        ctx.step();
+    EXPECT_EQ(ctx.readMem(3), 77);
+}
+
+TEST(Program, FinalizeBuildsCfgEdges)
+{
+    ProgramBuilder b("cfg", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 0));
+    auto d = b.beginIf(makeBeq(1, 0, -1));
+    b.emit(makeAddImm(2, 2, 1));
+    b.elseBranch(d);
+    b.emit(makeAddImm(2, 2, 2));
+    b.joinUp(d);
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    const auto &blocks = prog.procs[0].blocks;
+    // entry: branch to then, fallthrough to else
+    ASSERT_EQ(blocks[0].succs.size(), 2u);
+    // join has two predecessors
+    EXPECT_EQ(blocks[d.join].preds.size(), 2u);
+}
+
+TEST(Program, PcsAreUniqueAndIncreasing)
+{
+    const Program prog = straightLine();
+    std::uint64_t last = 0;
+    for (const auto &inst : prog.procs[0].blocks[0].insts) {
+        EXPECT_GT(inst.pc, last);
+        last = inst.pc;
+    }
+}
+
+/** Diamond with a loop around it for dominator/loop tests. */
+Program
+loopDiamond()
+{
+    ProgramBuilder b("ld", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, 8));
+    auto loop = b.beginLoop(1, 2);
+    auto d = b.beginIf(makeBeq(1, 0, -1));
+    b.emit(makeAddImm(3, 3, 1));
+    b.elseBranch(d);
+    b.emit(makeAddImm(3, 3, 2));
+    b.joinUp(d);
+    b.endLoop(loop);
+    b.emit(makeHalt());
+    return b.build();
+}
+
+TEST(Dominators, EntryDominatesEverything)
+{
+    const Program prog = loopDiamond();
+    const auto idom = immediateDominators(prog.procs[0]);
+    for (std::size_t bIdx = 0; bIdx < prog.procs[0].blocks.size();
+         bIdx++) {
+        if (idom[bIdx] < 0)
+            continue; // unreachable
+        EXPECT_TRUE(dominates(idom, 0, static_cast<int>(bIdx)));
+    }
+}
+
+TEST(Dominators, BranchArmsDoNotDominateJoin)
+{
+    const Program prog = loopDiamond();
+    const Procedure &proc = prog.procs[0];
+    const auto idom = immediateDominators(proc);
+    // find the join: a block with two predecessors inside the loop
+    for (const auto &block : proc.blocks) {
+        if (block.preds.size() == 2) {
+            for (int p : block.preds)
+                EXPECT_FALSE(dominates(idom, p, block.id) &&
+                             proc.blocks[p].preds.size() == 1 &&
+                             false);
+            // the branch head dominates the join
+            EXPECT_TRUE(dominates(idom,
+                                  idom[block.id], block.id));
+        }
+    }
+}
+
+TEST(NaturalLoops, FindsSingleLoopWithDiamondBody)
+{
+    const Program prog = loopDiamond();
+    const auto loops = findNaturalLoops(prog.procs[0]);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].depth, 1);
+    // header + then + else + join + latch at least
+    EXPECT_GE(loops[0].blocks.size(), 5u);
+}
+
+TEST(NaturalLoops, NestingResolved)
+{
+    ProgramBuilder b("nest", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, 4));
+    auto outer = b.beginLoop(1, 2);
+    b.emit(makeMovImm(3, 0));
+    b.emit(makeMovImm(4, 4));
+    auto inner = b.beginLoop(3, 4);
+    b.emit(makeAddImm(5, 5, 1));
+    b.endLoop(inner);
+    b.endLoop(outer);
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    const auto loops = findNaturalLoops(prog.procs[0]);
+    ASSERT_EQ(loops.size(), 2u);
+    const auto &a = loops[0].blocks.size() > loops[1].blocks.size()
+                        ? loops[0]
+                        : loops[1];
+    const auto &c = loops[0].blocks.size() > loops[1].blocks.size()
+                        ? loops[1]
+                        : loops[0];
+    EXPECT_EQ(a.depth, 1);
+    EXPECT_EQ(c.depth, 2);
+    ASSERT_EQ(a.children.size(), 1u);
+    // exclusive blocks of the outer loop exclude the inner body
+    const auto excl = a.exclusiveBlocks(loops);
+    for (int blk : excl)
+        EXPECT_FALSE(c.contains(blk));
+}
+
+TEST(Ddg, RawEdgesTrackLastDef)
+{
+    ProgramBuilder b("ddg", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 1));    // 0
+    b.emit(makeMovImm(1, 2));    // 1 redefines r1
+    b.emit(makeAddImm(2, 1, 0)); // 2 reads r1 -> depends on 1 only
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    const std::vector<const BasicBlock *> blocks = {
+        &prog.procs[0].blocks[0]};
+    const Ddg ddg = buildDdg(blocks, false);
+    ASSERT_EQ(ddg.edges.size(), 1u);
+    EXPECT_EQ(ddg.edges[0].from, 1);
+    EXPECT_EQ(ddg.edges[0].to, 2);
+}
+
+TEST(Ddg, StaticMemoryDependence)
+{
+    ProgramBuilder b("mem", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 8));
+    b.emit(makeStore(1, 2, 0)); // 1: st [r1]
+    b.emit(makeLoad(3, 1, 0));  // 2: ld [r1] same address
+    b.emit(makeLoad(4, 1, 4));  // 3: different offset: no edge
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    const std::vector<const BasicBlock *> blocks = {
+        &prog.procs[0].blocks[0]};
+    const Ddg ddg = buildDdg(blocks, false);
+    bool storeToLoad = false, storeToOther = false;
+    for (const auto &e : ddg.edges) {
+        if (e.from == 1 && e.to == 2)
+            storeToLoad = true;
+        if (e.from == 1 && e.to == 3)
+            storeToOther = true;
+    }
+    EXPECT_TRUE(storeToLoad);
+    EXPECT_FALSE(storeToOther);
+}
+
+TEST(Ddg, LoopCarriedDistanceOneEdges)
+{
+    ProgramBuilder b("carry", 64);
+    b.newProc("main");
+    b.emit(makeAddImm(1, 1, 1)); // r1 depends on itself across iters
+    b.emit(makeAddImm(2, 1, 0)); // same-iteration use
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    const std::vector<const BasicBlock *> blocks = {
+        &prog.procs[0].blocks[0]};
+    const Ddg ddg = buildDdg(blocks, true);
+    bool selfCarried = false;
+    for (const auto &e : ddg.edges)
+        if (e.from == 0 && e.to == 0 && e.distance == 1)
+            selfCarried = true;
+    EXPECT_TRUE(selfCarried);
+}
+
+TEST(Ddg, CyclicDependenceSetsFindSelfLoopOnly)
+{
+    ProgramBuilder b("cds", 64);
+    b.newProc("main");
+    b.emit(makeAddImm(1, 1, 1)); // cyclic
+    b.emit(makeAddImm(2, 3, 1)); // r2 from r3: acyclic
+    b.emit(makeHalt());
+    const Program prog = b.build();
+    const std::vector<const BasicBlock *> blocks = {
+        &prog.procs[0].blocks[0]};
+    const Ddg ddg = buildDdg(blocks, true);
+    const auto sets = cyclicDependenceSets(ddg);
+    ASSERT_EQ(sets.size(), 1u);
+    EXPECT_EQ(sets[0], std::vector<int>{0});
+}
+
+TEST(Ddg, LoadLatencyUsesL1Hit)
+{
+    const StaticInst load = makeLoad(1, 2, 0);
+    EXPECT_EQ(defaultCompilerLatency(load, 2), 2);
+    const StaticInst add = makeAdd(1, 2, 3);
+    EXPECT_EQ(defaultCompilerLatency(add, 2), 1);
+}
+
+TEST(Rpo, EntryFirstTopologicalOnDags)
+{
+    const Program prog = loopDiamond();
+    const auto rpo = reversePostOrder(prog.procs[0]);
+    ASSERT_FALSE(rpo.empty());
+    EXPECT_EQ(rpo.front(), 0);
+}
+
+} // namespace
+} // namespace siq

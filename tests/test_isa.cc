@@ -1,0 +1,115 @@
+/** @file Unit tests for the ISA: traits, hint encodings, disasm. */
+
+#include <gtest/gtest.h>
+
+#include "isa/hint.hh"
+#include "isa/static_inst.hh"
+
+namespace siq
+{
+namespace
+{
+
+TEST(OpTraits, TotalAndConsistent)
+{
+    for (int i = 0; i < numOpcodes; i++) {
+        const auto op = static_cast<Opcode>(i);
+        const auto &t = opTraits(op);
+        EXPECT_FALSE(t.mnemonic.empty());
+        EXPECT_GE(t.latency, 1);
+        if (t.isLoad || t.isStore) {
+            EXPECT_EQ(t.fu, FuClass::MemPort);
+        }
+        if (t.isBranch) {
+            EXPECT_FALSE(t.writesDst);
+        }
+    }
+}
+
+TEST(OpTraits, Table1Latencies)
+{
+    EXPECT_EQ(opTraits(Opcode::Add).latency, 1);
+    EXPECT_EQ(opTraits(Opcode::Mul).latency, 3);
+    EXPECT_EQ(opTraits(Opcode::FAdd).latency, 2);
+    EXPECT_EQ(opTraits(Opcode::FMul).latency, 4);
+    EXPECT_EQ(opTraits(Opcode::FDiv).latency, 12);
+    EXPECT_EQ(opTraits(Opcode::Mul).fu, FuClass::IntMul);
+    EXPECT_EQ(opTraits(Opcode::FAdd).fu, FuClass::FpAlu);
+    EXPECT_EQ(opTraits(Opcode::FMul).fu, FuClass::FpMulDiv);
+}
+
+TEST(OpTraits, DividesAreNotPipelined)
+{
+    EXPECT_FALSE(opTraits(Opcode::Div).pipelined);
+    EXPECT_FALSE(opTraits(Opcode::FDiv).pipelined);
+    EXPECT_TRUE(opTraits(Opcode::Mul).pipelined);
+    EXPECT_TRUE(opTraits(Opcode::FMul).pipelined);
+}
+
+TEST(OpTraits, ControlClassification)
+{
+    EXPECT_TRUE(isControl(Opcode::Beq));
+    EXPECT_TRUE(isControl(Opcode::Jump));
+    EXPECT_TRUE(isControl(Opcode::Call));
+    EXPECT_TRUE(isControl(Opcode::Ret));
+    EXPECT_TRUE(isControl(Opcode::IJump));
+    EXPECT_FALSE(isControl(Opcode::Add));
+    EXPECT_FALSE(isControl(Opcode::Halt));
+    EXPECT_TRUE(isMem(Opcode::Load));
+    EXPECT_TRUE(isMem(Opcode::FStore));
+    EXPECT_FALSE(isMem(Opcode::Nop));
+}
+
+TEST(HintEncoding, NoopRoundTrip)
+{
+    for (std::uint16_t v : {0, 1, 4, 17, 80, 255}) {
+        const auto word = encodeHintNoop(v);
+        const auto decoded = decodeHintNoop(word);
+        ASSERT_TRUE(decoded.has_value()) << "value " << v;
+        EXPECT_EQ(*decoded, v);
+    }
+}
+
+TEST(HintEncoding, NonHintWordsRejected)
+{
+    EXPECT_FALSE(decodeHintNoop(0x00000012u).has_value());
+    EXPECT_FALSE(decodeHintNoop(0xFFFFFFFFu).has_value());
+}
+
+TEST(HintEncoding, TagRoundTripPreservesInstructionBits)
+{
+    const std::uint32_t inst = 0x00ABCDEF;
+    for (std::uint16_t v : {1, 42, 80, 255}) {
+        const auto tagged = encodeTag(inst, v);
+        EXPECT_EQ(decodeTag(tagged), v);
+        // low bits (the instruction proper) survive
+        EXPECT_EQ(tagged & 0x00FFFFFF, inst & 0x00FFFFFF);
+    }
+    EXPECT_EQ(decodeTag(inst), 0u) << "untagged word decodes to 0";
+}
+
+TEST(StaticInst, WritesLiveRegRespectsZeroRegister)
+{
+    EXPECT_TRUE(makeAdd(3, 1, 2).writesLiveReg());
+    EXPECT_FALSE(makeAdd(zeroReg, 1, 2).writesLiveReg());
+    EXPECT_FALSE(makeStore(1, 2, 0).writesLiveReg());
+}
+
+TEST(StaticInst, DisasmGolden)
+{
+    EXPECT_EQ(makeAdd(3, 1, 2).disasm(), "add r3, r1, r2");
+    EXPECT_EQ(makeMovImm(5, 42).disasm(), "movi r5, 42");
+    EXPECT_EQ(makeLoad(4, 7, 3).disasm(), "ld r4, [r7+3]");
+    EXPECT_EQ(makeStore(7, 4, -1).disasm(), "st [r7+-1], r4");
+    EXPECT_EQ(makeBlt(1, 2, 9).disasm(), "blt r1, r2, b9");
+    EXPECT_EQ(makeHint(24).disasm(), "hint #24");
+    EXPECT_EQ(makeFAdd(fpRegBase + 1, fpRegBase + 2, fpRegBase + 3)
+                  .disasm(),
+              "fadd f1, f2, f3");
+    StaticInst tagged = makeAdd(3, 1, 2);
+    tagged.tagHint = 12;
+    EXPECT_EQ(tagged.disasm(), "add r3, r1, r2 {iq=12}");
+}
+
+} // namespace
+} // namespace siq

