@@ -5,8 +5,15 @@
  *  A2 bank granularity — 5x16 / 10x8 / 20x4 bank splits;
  *  A3 redundant-hint elision on/off (NOOP-count and IPC effect);
  *  A4 the Folegnani&González resizer next to ours and abella.
- * Run on a three-benchmark subset to keep the binary quick.
+ *
+ * Every ablation variant is a registered technique (sim/technique.hh)
+ * swept through one shared ExperimentRunner, so the three-benchmark
+ * subset is synthesized once for the whole binary and the cells run
+ * in parallel. Run on a subset to keep the binary quick.
  */
+
+#include <functional>
+#include <memory>
 
 #include "bench/common.hh"
 
@@ -26,22 +33,67 @@ quickCfg()
     return cfg;
 }
 
+/** A noop-scheme variant with one compiler knob changed. */
+sim::TechniqueDef
+noopVariant(const std::string &name, const std::string &summary,
+            const std::function<void(compiler::CompilerConfig &)> &tweak)
+{
+    return {
+        name,
+        sim::Technique::Noop,
+        summary,
+        [tweak](const sim::RunConfig &cfg) {
+            auto cc = *sim::compilerConfigFor(sim::Technique::Noop, cfg);
+            tweak(cc);
+            return std::optional(cc);
+        },
+        nullptr,
+    };
+}
+
+sim::SweepResult
+runSubset(sim::ExperimentRunner &runner,
+          const std::vector<std::string> &techniques,
+          const std::function<void(sim::RunConfig &)> &tune = {})
+{
+    sim::SweepSpec spec;
+    spec.benchmarks = subset;
+    spec.techniques = techniques;
+    spec.base = quickCfg();
+    if (tune)
+        tune(spec.base);
+    return runner.run(spec);
+}
+
 void
-clampSweep()
+clampSweep(sim::ExperimentRunner &runner)
 {
     bench::header("A1: hint clamp floor sweep",
                   "larger floors trade power savings for IPC safety");
+
+    const std::vector<int> floors = {4, 8, 12, 16};
+    std::vector<std::unique_ptr<sim::ScopedTechnique>> variants;
+    std::vector<std::string> techniques = {"baseline"};
+    for (int floor : floors) {
+        const std::string name =
+            "noop-floor" + std::to_string(floor);
+        variants.push_back(std::make_unique<sim::ScopedTechnique>(
+            noopVariant(name, "noop with minHint floor",
+                        [floor](compiler::CompilerConfig &cc) {
+                            cc.minHint = floor;
+                        })));
+        techniques.push_back(name);
+    }
+
+    const auto sweep = runSubset(runner, techniques);
+
     Table t({"benchmark", "floor", "IPC loss", "IQ dyn saving"});
-    for (const auto &name : subset) {
-        auto cfg = quickCfg();
-        cfg.tech = sim::Technique::Baseline;
-        const auto base = sim::runOne(name, cfg);
-        for (int floor : {4, 8, 12, 16}) {
-            cfg.tech = sim::Technique::Noop;
-            cfg.minHint = floor;
-            const auto r = sim::runOne(name, cfg);
+    for (std::size_t b = 0; b < subset.size(); b++) {
+        const auto &base = sweep.at("baseline", b);
+        for (std::size_t f = 0; f < floors.size(); f++) {
+            const auto &r = sweep.at(techniques[f + 1], b);
             const auto cmp = sim::comparePower(base, r);
-            t.addRow({name, std::to_string(floor),
+            t.addRow({subset[b], std::to_string(floors[f]),
                       Table::pct(bench::ipcLoss(base, r)),
                       Table::pct(cmp.iqDynamicSaving)});
         }
@@ -51,23 +103,30 @@ clampSweep()
 }
 
 void
-bankSweep()
+bankSweep(sim::ExperimentRunner &runner)
 {
     bench::header("A2: IQ bank granularity",
                   "finer banks gate more but cost overhead per bank");
+    const std::vector<int> bankSizes = {16, 8, 4};
+    // bank geometry is a machine change: one sweep per geometry, but
+    // the same cached workload programs serve every geometry
+    std::vector<sim::SweepResult> sweeps;
+    for (int bankSize : bankSizes) {
+        sweeps.push_back(
+            runSubset(runner, {"baseline", "noop"},
+                      [bankSize](sim::RunConfig &cfg) {
+                          cfg.core.iq.bankSize = bankSize;
+                      }));
+    }
     Table t({"benchmark", "banks", "banks off", "IQ stat saving"});
-    for (const auto &name : subset) {
-        for (int bankSize : {16, 8, 4}) {
-            auto cfg = quickCfg();
-            cfg.core.iq.bankSize = bankSize;
-            cfg.tech = sim::Technique::Baseline;
-            const auto base = sim::runOne(name, cfg);
-            cfg.tech = sim::Technique::Noop;
-            const auto r = sim::runOne(name, cfg);
+    for (std::size_t b = 0; b < subset.size(); b++) {
+        for (std::size_t s = 0; s < bankSizes.size(); s++) {
+            const auto &base = sweeps[s].at("baseline", b);
+            const auto &r = sweeps[s].at("noop", b);
             const auto cmp = sim::comparePower(base, r);
-            t.addRow({name,
-                      std::to_string(80 / bankSize) + "x" +
-                          std::to_string(bankSize),
+            t.addRow({subset[b],
+                      std::to_string(80 / bankSizes[s]) + "x" +
+                          std::to_string(bankSizes[s]),
                       Table::pct(r.iqBanksOffFraction()),
                       Table::pct(cmp.iqStaticSaving)});
         }
@@ -77,21 +136,28 @@ bankSweep()
 }
 
 void
-elisionAblation()
+elisionAblation(sim::ExperimentRunner &runner)
 {
     bench::header("A3: redundant-hint elision",
                   "elision removes NOOPs whose value matches the "
                   "incoming range");
+
+    sim::ScopedTechnique noElide(noopVariant(
+        "noop-noelide", "noop without redundant-hint elision",
+        [](compiler::CompilerConfig &cc) {
+            cc.elideRedundant = false;
+        }));
+
+    const auto sweep =
+        runSubset(runner, {"baseline", "noop", "noop-noelide"});
+
     Table t({"benchmark", "elide", "hint noops", "IPC loss"});
-    for (const auto &name : subset) {
-        auto cfg = quickCfg();
-        cfg.tech = sim::Technique::Baseline;
-        const auto base = sim::runOne(name, cfg);
-        for (bool elide : {true, false}) {
-            cfg.tech = sim::Technique::Noop;
-            cfg.elideRedundant = elide;
-            const auto r = sim::runOne(name, cfg);
-            t.addRow({name, elide ? "on" : "off",
+    for (std::size_t b = 0; b < subset.size(); b++) {
+        const auto &base = sweep.at("baseline", b);
+        for (const char *tech : {"noop", "noop-noelide"}) {
+            const auto &r = sweep.at(tech, b);
+            t.addRow({subset[b],
+                      std::string(tech) == "noop" ? "on" : "off",
                       std::to_string(r.compile.hintNoopsInserted),
                       Table::pct(bench::ipcLoss(base, r))});
         }
@@ -101,22 +167,21 @@ elisionAblation()
 }
 
 void
-folegnaniComparison()
+folegnaniComparison(sim::ExperimentRunner &runner)
 {
     bench::header("A4: Folegnani&Gonzalez resizer",
                   "the ISCA'01 heuristic vs abella vs compiler hints");
+
+    const auto sweep = runSubset(
+        runner, {"baseline", "noop", "abella", "folegnani"});
+
     Table t({"benchmark", "technique", "IPC loss", "IQ dyn saving"});
-    for (const auto &name : subset) {
-        auto cfg = quickCfg();
-        cfg.tech = sim::Technique::Baseline;
-        const auto base = sim::runOne(name, cfg);
-        for (auto tech : {sim::Technique::Noop,
-                          sim::Technique::Abella,
-                          sim::Technique::Folegnani}) {
-            cfg.tech = tech;
-            const auto r = sim::runOne(name, cfg);
+    for (std::size_t b = 0; b < subset.size(); b++) {
+        const auto &base = sweep.at("baseline", b);
+        for (const char *tech : {"noop", "abella", "folegnani"}) {
+            const auto &r = sweep.at(tech, b);
             const auto cmp = sim::comparePower(base, r);
-            t.addRow({name, sim::techniqueName(tech),
+            t.addRow({subset[b], tech,
                       Table::pct(bench::ipcLoss(base, r)),
                       Table::pct(cmp.iqDynamicSaving)});
         }
@@ -129,9 +194,20 @@ folegnaniComparison()
 int
 main()
 {
-    clampSweep();
-    bankSweep();
-    elisionAblation();
-    folegnaniComparison();
+    using namespace siq;
+    // one engine for the whole binary: the subset's workloads are
+    // synthesized once and reused by all four ablations
+    sim::ExperimentRunner runner(
+        static_cast<int>(bench::envOr("SIQSIM_JOBS", 0)));
+    clampSweep(runner);
+    bankSweep(runner);
+    elisionAblation(runner);
+    folegnaniComparison(runner);
+    const auto cache = runner.cacheStats();
+    std::cerr << "engine cache: " << cache.workloadBuilds
+              << " workload builds, " << cache.workloadHits
+              << " hits; " << cache.compileBuilds
+              << " compile builds, " << cache.compileHits
+              << " hits\n";
     return 0;
 }

@@ -2,13 +2,20 @@
  * @file
  * A5: simulator throughput (google-benchmark) — simulated
  * instructions and cycles per host second for a cache-friendly and a
- * memory-bound workload, plus the compiler pass alone.
+ * memory-bound workload, the compiler pass alone, and the experiment
+ * engine running the figure-8 benchmark×technique matrix serially vs
+ * fanned out over the worker pool (the acceptance measurement for the
+ * threaded sweep runner; budgets are scaled down so an iteration
+ * stays in the milliseconds-to-seconds range).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "cpu/core.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
 
 namespace
 {
@@ -47,6 +54,44 @@ annotateOnly(benchmark::State &state, const std::string &name)
 
 BENCHMARK_CAPTURE(annotateOnly, gcc, std::string("gcc"))
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * The fig8 matrix (full suite × baseline/noop/abella) through the
+ * sweep engine. The Arg is the worker count; 0 = hardware
+ * concurrency. A fresh runner per iteration, so every iteration pays
+ * workload synthesis and compilation once each (as a figure binary
+ * would) and the serial/threaded comparison is apples-to-apples.
+ */
+void
+sweepFig8Matrix(benchmark::State &state)
+{
+    sim::SweepSpec spec;
+    spec.benchmarks = workloads::benchmarkNames();
+    spec.techniques = {"baseline", "noop", "abella"};
+    spec.base.workload.repDivisor = 8;
+    spec.base.warmupInsts = 10000;
+    spec.base.measureInsts = 50000;
+    spec.jobs = static_cast<int>(state.range(0));
+
+    std::uint64_t cells = 0;
+    for (auto _ : state) {
+        sim::ExperimentRunner runner;
+        const auto sweep = runner.run(spec);
+        cells += sweep.cells.size();
+        benchmark::DoNotOptimize(sweep.cells.front().stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+    state.counters["jobs"] = static_cast<double>(
+        spec.jobs > 0 ? spec.jobs
+                      : std::thread::hardware_concurrency());
+}
+
+BENCHMARK(sweepFig8Matrix)
+    ->Arg(1) // serial reference
+    ->Arg(0) // hardware concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace
 

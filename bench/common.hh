@@ -1,26 +1,36 @@
 /**
  * @file
- * Shared experiment-matrix runner for the figure/table benches. Each
- * bench binary runs exactly the techniques its figure needs over the
- * full 11-benchmark suite and prints the same rows/series the paper
- * reports, with the paper's headline values alongside.
+ * Shared experiment-matrix runner for the figure/table benches, built
+ * on the sweep engine (sim/sweep.hh): one ExperimentRunner fans the
+ * benchmark × technique matrix out over worker threads, workload
+ * programs are synthesized once and shared read-only across cells,
+ * and every figure binary can export its matrix machine-readably.
  *
- * Budgets are scaled down from the paper's 100M+100M warm-up+measure
- * (see DESIGN.md §5); override with SIQSIM_WARMUP / SIQSIM_MEASURE
- * (instruction counts) when more fidelity is wanted.
+ * Environment knobs:
+ *  - SIQSIM_WARMUP / SIQSIM_MEASURE: per-cell instruction budgets,
+ *    scaled down from the paper's 100M+100M (see DESIGN.md §5);
+ *  - SIQSIM_JOBS: worker threads (0/unset = hardware concurrency);
+ *  - SIQSIM_JSON / SIQSIM_CSV / SIQSIM_POWER_CSV: when set to a path,
+ *    the matrix (or its power-savings table) is written there after
+ *    the run (see DESIGN.md §6).
  */
 
 #ifndef SIQ_BENCH_COMMON_HH
 #define SIQ_BENCH_COMMON_HH
 
 #include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
+#include "sim/technique.hh"
 
 namespace siq::bench
 {
@@ -34,36 +44,91 @@ envOr(const char *name, std::uint64_t fallback)
     return std::strtoull(value, nullptr, 10);
 }
 
+/** The sweep config every figure bench starts from. */
+inline sim::RunConfig
+defaultConfig()
+{
+    sim::RunConfig cfg;
+    cfg.warmupInsts = envOr("SIQSIM_WARMUP", 120000);
+    cfg.measureInsts = envOr("SIQSIM_MEASURE", 400000);
+    return cfg;
+}
+
 /** One run per benchmark per technique, shared across figures. */
 struct Matrix
 {
     std::vector<std::string> benches;
-    std::map<sim::Technique, std::vector<sim::RunResult>> results;
+    sim::SweepResult sweep;
 
     const sim::RunResult &
     at(sim::Technique tech, std::size_t benchIdx) const
     {
-        return results.at(tech)[benchIdx];
+        return sweep.at(sim::techniqueName(tech), benchIdx);
+    }
+
+    const sim::RunResult &
+    at(const std::string &technique, std::size_t benchIdx) const
+    {
+        return sweep.at(technique, benchIdx);
     }
 };
 
+/** Honour the SIQSIM_JSON / SIQSIM_CSV / SIQSIM_POWER_CSV exports. */
+inline void
+exportResults(const sim::SweepResult &sweep)
+{
+    auto emit = [&](const char *env,
+                    const std::function<void(std::ostream &)> &write) {
+        const char *path = std::getenv(env);
+        if (path == nullptr)
+            return;
+        std::ofstream os(path, std::ios::trunc);
+        if (os)
+            write(os);
+        os.flush();
+        if (!os)
+            fatal("export to '", path, "' (", env, ") failed");
+        std::cerr << "  wrote " << path << "\n";
+    };
+    emit("SIQSIM_JSON",
+         [&](std::ostream &os) { sim::writeJson(os, sweep); });
+    emit("SIQSIM_CSV",
+         [&](std::ostream &os) { sim::writeCsv(os, sweep); });
+    emit("SIQSIM_POWER_CSV",
+         [&](std::ostream &os) { sim::writePowerCsv(os, sweep); });
+}
+
+/** Run a sweep through a fresh engine and report engine stats. */
+inline sim::SweepResult
+runSweep(const sim::SweepSpec &spec)
+{
+    sim::ExperimentRunner runner(
+        static_cast<int>(envOr("SIQSIM_JOBS", 0)));
+    std::cerr << "  sweep: " << spec.benchmarks.size() << " benchmarks x "
+              << spec.techniques.size() << " techniques...\n";
+    auto sweep = runner.run(spec);
+    std::cerr << "  " << sweep.cells.size() << " cells in "
+              << sweep.wallSeconds << "s on " << sweep.jobsUsed
+              << " thread(s); workloads built "
+              << sweep.cache.workloadBuilds << ", cache hits "
+              << sweep.cache.workloadHits << "\n";
+    exportResults(sweep);
+    return sweep;
+}
+
+/** The figure matrix: full suite × the figure's techniques. */
 inline Matrix
 runMatrix(const std::vector<sim::Technique> &techniques)
 {
+    sim::SweepSpec spec;
+    spec.benchmarks = workloads::benchmarkNames();
+    for (auto tech : techniques)
+        spec.techniques.push_back(sim::techniqueName(tech));
+    spec.base = defaultConfig();
+
     Matrix m;
-    m.benches = workloads::benchmarkNames();
-    sim::RunConfig cfg;
-    cfg.warmupInsts = envOr("SIQSIM_WARMUP", 120000);
-    cfg.measureInsts = envOr("SIQSIM_MEASURE", 400000);
-    for (auto tech : techniques) {
-        cfg.tech = tech;
-        auto &rows = m.results[tech];
-        for (const auto &bench : m.benches) {
-            std::cerr << "  running " << bench << " / "
-                      << sim::techniqueName(tech) << "...\n";
-            rows.push_back(sim::runOne(bench, cfg));
-        }
-    }
+    m.benches = spec.benchmarks;
+    m.sweep = runSweep(spec);
     return m;
 }
 

@@ -1,9 +1,11 @@
 /**
  * @file
- * Side-by-side comparison of every technique on one benchmark: the
- * paper's whole story in a single table — baseline, the three
- * compiler schemes (NOOP / Extension / Improved) and the two hardware
- * comparators (abella, Folegnani&González).
+ * Side-by-side comparison of every registered technique on one
+ * benchmark: the paper's whole story in a single table — baseline,
+ * the three compiler schemes (NOOP / Extension / Improved) and the
+ * two hardware comparators (abella, Folegnani&González) — plus any
+ * variant registered with the technique registry. One engine sweep:
+ * the workload is synthesized once and shared by every technique.
  *
  * Usage: adaptive_compare [benchmark] [scale]
  */
@@ -12,7 +14,8 @@
 #include <string>
 
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+#include "sim/technique.hh"
 
 int
 main(int argc, char **argv)
@@ -21,28 +24,31 @@ main(int argc, char **argv)
     const std::string bench = argc > 1 ? argv[1] : "vortex";
     const int scale = argc > 2 ? std::atoi(argv[2]) : 1;
 
-    sim::RunConfig cfg;
-    cfg.workload.scale = scale;
-    cfg.warmupInsts = 120000;
-    cfg.measureInsts = 400000;
+    sim::SweepSpec spec;
+    spec.benchmarks = {bench};
+    spec.techniques = sim::techniqueNames(); // baseline first
+    spec.base.workload.scale = scale;
+    spec.base.warmupInsts = 120000;
+    spec.base.measureInsts = 400000;
 
-    cfg.tech = sim::Technique::Baseline;
-    const auto base = sim::runOne(bench, cfg);
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+    const auto &base = sweep.at("baseline", 0);
 
     std::cout << "benchmark '" << bench << "', baseline IPC "
-              << Table::fmt(base.ipc(), 3) << "\n\n";
+              << Table::fmt(base.ipc(), 3) << " ("
+              << sweep.cells.size() << " cells on " << sweep.jobsUsed
+              << " thread(s), " << Table::fmt(sweep.wallSeconds, 1)
+              << "s)\n\n";
 
     Table t({"technique", "IPC loss", "IQ occ", "IQ dyn", "IQ stat",
              "RF dyn", "RF stat", "banks off"});
-    for (auto tech :
-         {sim::Technique::Noop, sim::Technique::Extension,
-          sim::Technique::Improved, sim::Technique::Abella,
-          sim::Technique::Folegnani}) {
-        cfg.tech = tech;
-        const auto r = sim::runOne(bench, cfg);
+    for (const auto &tech : spec.techniques) {
+        if (tech == "baseline")
+            continue;
+        const auto &r = sweep.at(tech, 0);
         const auto cmp = sim::comparePower(base, r);
-        t.addRow({sim::techniqueName(tech),
-                  Table::pct(1.0 - r.ipc() / base.ipc()),
+        t.addRow({tech, Table::pct(1.0 - r.ipc() / base.ipc()),
                   Table::fmt(r.avgIqOccupancy(), 1),
                   Table::pct(cmp.iqDynamicSaving),
                   Table::pct(cmp.iqStaticSaving),

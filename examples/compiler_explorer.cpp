@@ -3,8 +3,9 @@
  * Compiler explorer: dump the paper's analysis products for one
  * workload — per procedure: the natural loops, the CDS equations'
  * entries and the unrolled minimal range, per-block DAG needs and the
- * final hint values, plus the inserted-hint summary for all three
- * schemes.
+ * final hint values, plus the inserted-hint summary for every
+ * registered technique that carries a compiler configuration (the
+ * three built-in schemes and any registered variant).
  *
  * Usage: compiler_explorer [benchmark] [scale]
  */
@@ -14,7 +15,7 @@
 
 #include "common/table.hh"
 #include "compiler/pass.hh"
-#include "sim/simulator.hh"
+#include "sim/technique.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -57,17 +58,20 @@ main(int argc, char **argv)
         std::cout << "\n";
     }
 
-    std::cout << "\nhint insertion summary:\n";
-    Table t({"scheme", "noops", "tags", "elided", "seconds"});
-    for (auto scheme : {sim::Technique::Noop,
-                        sim::Technique::Extension,
-                        sim::Technique::Improved}) {
+    std::cout << "\nhint insertion summary (every registered "
+                 "technique with a compiler config):\n";
+    Table t({"technique", "noops", "tags", "elided", "seconds"});
+    sim::RunConfig rc;
+    for (const auto &name : sim::techniqueNames()) {
+        const sim::TechniqueDef *def = sim::findTechnique(name);
+        if (def == nullptr || !def->compilerConfig)
+            continue;
+        const auto cfg = def->compilerConfig(rc);
+        if (!cfg)
+            continue;
         Program copy = workloads::generate(bench, wp);
-        sim::RunConfig rc;
-        const auto cfg = sim::compilerConfigFor(scheme, rc);
         const auto stats = compiler::annotate(copy, *cfg);
-        t.addRow({sim::techniqueName(scheme),
-                  std::to_string(stats.hintNoopsInserted),
+        t.addRow({name, std::to_string(stats.hintNoopsInserted),
                   std::to_string(stats.tagsApplied),
                   std::to_string(stats.hintsElided),
                   Table::fmt(stats.seconds, 3)});

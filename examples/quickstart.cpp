@@ -1,19 +1,23 @@
 /**
  * @file
  * Quickstart: compile one workload with the NOOP scheme, run it next
- * to the unmodified baseline, and print the paper's headline metrics
- * (IPC loss, occupancy reduction, IQ/RF power savings).
+ * to the unmodified baseline through the experiment engine, and print
+ * the paper's headline metrics (IPC loss, occupancy reduction, IQ/RF
+ * power savings). The workload is synthesized once and both cells run
+ * in parallel when the host has the cores.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart [benchmark] [scale]
+ *   ./build/quickstart [benchmark] [scale] [out.json]
  */
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/report.hh"
+#include "sim/sweep.hh"
 
 int
 main(int argc, char **argv)
@@ -22,20 +26,20 @@ main(int argc, char **argv)
     const std::string bench = argc > 1 ? argv[1] : "gzip";
     const int scale = argc > 2 ? std::atoi(argv[2]) : 1;
 
-    sim::RunConfig cfg;
-    cfg.workload.scale = scale;
-    cfg.warmupInsts = 100000;
-    cfg.measureInsts = 400000;
+    sim::SweepSpec spec;
+    spec.benchmarks = {bench};
+    spec.techniques = {"baseline", "noop"};
+    spec.base.workload.scale = scale;
+    spec.base.warmupInsts = 100000;
+    spec.base.measureInsts = 400000;
 
     std::cout << "siqsim quickstart: benchmark '" << bench
               << "', Table-1 machine (80-entry IQ, 8-wide)\n\n";
 
-    cfg.tech = sim::Technique::Baseline;
-    const auto base = sim::runOne(bench, cfg);
-
-    cfg.tech = sim::Technique::Noop;
-    const auto noop = sim::runOne(bench, cfg);
-
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+    const auto &base = sweep.at("baseline", 0);
+    const auto &noop = sweep.at("noop", 0);
     const auto power = sim::comparePower(base, noop);
 
     Table t({"metric", "baseline", "noop-scheme"});
@@ -61,5 +65,20 @@ main(int argc, char **argv)
               << Table::pct(power.rfStaticSaving) << '\n';
     std::cout << "(nonEmpty gating alone would save "
               << Table::pct(power.nonEmptySaving) << " dynamic)\n";
+    std::cout << "engine: " << sweep.cells.size() << " cells, "
+              << sweep.jobsUsed << " thread(s), workload built "
+              << sweep.cache.workloadBuilds << "x\n";
+
+    if (argc > 3) {
+        std::ofstream os(argv[3], std::ios::trunc);
+        if (os)
+            sim::writeJson(os, sweep);
+        os.flush();
+        if (!os) {
+            std::cerr << "error: could not write " << argv[3] << '\n';
+            return 1;
+        }
+        std::cout << "wrote " << argv[3] << '\n';
+    }
     return 0;
 }

@@ -6,14 +6,21 @@
  * to window size — the curve the paper's technique exploits (flat
  * curves mean free power savings; steep curves need accurate hints).
  *
+ * Each R is a registered technique variant ("tag-r8", ...), so the
+ * whole curve family is one engine sweep: every benchmark program is
+ * synthesized once and compiled once per R, and the cells fan out
+ * over the worker pool.
+ *
  * Usage: range_sweep [benchmark ...]
  */
 
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+#include "sim/technique.hh"
 
 int
 main(int argc, char **argv)
@@ -27,45 +34,58 @@ main(int argc, char **argv)
 
     const std::vector<int> ranges = {4, 8, 16, 32, 48, 80};
 
+    // register one Tag-scheme variant per forced range
+    std::vector<std::unique_ptr<sim::ScopedTechnique>> variants;
+    sim::SweepSpec spec;
+    spec.benchmarks = benches;
+    spec.techniques = {"baseline"};
+    for (int r : ranges) {
+        const std::string name = "tag-r" + std::to_string(r);
+        variants.push_back(std::make_unique<sim::ScopedTechnique>(
+            sim::TechniqueDef{
+                name,
+                sim::Technique::Extension,
+                "tag hints clamped to a " + std::to_string(r) +
+                    "-entry window",
+                [r](const sim::RunConfig &cfg) {
+                    auto cc = *sim::compilerConfigFor(
+                        sim::Technique::Extension, cfg);
+                    cc.minHint = 1;
+                    cc.machine.iqSize = r; // forces every hint <= r
+                    return std::optional(cc);
+                },
+                nullptr,
+            }));
+        spec.techniques.push_back(name);
+    }
+    spec.base.warmupInsts = 100000;
+    spec.base.measureInsts = 300000;
+
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+
     std::vector<std::string> headers = {"benchmark", "base IPC"};
     for (int r : ranges)
         headers.push_back("R<=" + std::to_string(r));
     Table t(headers);
 
-    for (const auto &bench : benches) {
-        sim::RunConfig cfg;
-        cfg.warmupInsts = 100000;
-        cfg.measureInsts = 300000;
-
-        cfg.tech = sim::Technique::Baseline;
-        const auto base = sim::runOne(bench, cfg);
-
-        std::vector<std::string> row = {bench,
+    for (std::size_t b = 0; b < benches.size(); b++) {
+        const auto &base = sweep.at("baseline", b);
+        std::vector<std::string> row = {benches[b],
                                         Table::fmt(base.ipc(), 3)};
         for (int r : ranges) {
-            Program prog =
-                workloads::generate(bench, cfg.workload);
-            compiler::CompilerConfig cc;
-            cc.scheme = compiler::HintScheme::Tag;
-            cc.minHint = 1;
-            cc.machine.iqSize = r; // forces every hint <= r
-            compiler::annotate(prog, cc);
-
-            CoreConfig coreCfg;
-            Core core(prog, coreCfg);
-            core.run(cfg.warmupInsts);
-            core.resetStats();
-            core.run(cfg.measureInsts);
-            const double loss =
-                1.0 - core.stats().ipc() / base.ipc();
+            const auto &cell =
+                sweep.at("tag-r" + std::to_string(r), b);
+            const double loss = 1.0 - cell.ipc() / base.ipc();
             row.push_back(Table::pct(loss) + "/" +
-                          Table::fmt(core.iqEvents().occupancySum /
-                                         double(core.iqEvents().cycles),
-                                     0));
+                          Table::fmt(cell.avgIqOccupancy(), 0));
         }
         t.addRow(row);
     }
-    std::cout << "cells: IPC loss vs baseline / avg occupancy\n";
+    std::cout << "cells: IPC loss vs baseline / avg occupancy ("
+              << sweep.cells.size() << " runs, "
+              << sweep.cache.workloadBuilds << " workloads built, "
+              << sweep.jobsUsed << " thread(s))\n";
     t.print(std::cout);
     return 0;
 }

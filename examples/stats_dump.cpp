@@ -2,43 +2,53 @@
  * @file
  * Full statistics dump for one benchmark under one technique —
  * pipeline bottleneck analysis (fetch/dispatch/issue rates, stall
- * breakdown, cache and predictor behaviour, IQ/RF occupancy).
+ * breakdown, cache and predictor behaviour, IQ/RF occupancy). The
+ * technique is any registered name (built-in or variant); pass
+ * "--json" as the last argument to also dump the run machine-readably.
  *
- * Usage: stats_dump [benchmark] [technique] [scale]
+ * Usage: stats_dump [benchmark] [technique] [scale] [--json]
  */
 
 #include <iostream>
 #include <string>
 
 #include "common/table.hh"
+#include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/technique.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace siq;
+    bool json = false;
+    if (argc > 1 && std::string(argv[argc - 1]) == "--json") {
+        json = true;
+        argc--;
+    }
     const std::string bench = argc > 1 ? argv[1] : "gzip";
     const std::string techName = argc > 2 ? argv[2] : "baseline";
     const int scale = argc > 3 ? std::atoi(argv[3]) : 1;
+
+    if (sim::findTechnique(techName) == nullptr) {
+        std::cerr << "unknown technique '" << techName
+                  << "'; registered:";
+        for (const auto &name : sim::techniqueNames())
+            std::cerr << ' ' << name;
+        std::cerr << '\n';
+        return 1;
+    }
 
     sim::RunConfig cfg;
     cfg.workload.scale = scale;
     cfg.warmupInsts = 100000;
     cfg.measureInsts = 300000;
-    for (auto t : {sim::Technique::Baseline, sim::Technique::Noop,
-                   sim::Technique::Extension,
-                   sim::Technique::Improved, sim::Technique::Abella,
-                   sim::Technique::Folegnani}) {
-        if (sim::techniqueName(t) == techName)
-            cfg.tech = t;
-    }
 
-    const auto r = sim::runOne(bench, cfg);
+    const auto r = sim::runOne(bench, techName, cfg);
     const auto &s = r.stats;
     const double cyc = static_cast<double>(s.cycles);
 
-    std::cout << bench << " / " << sim::techniqueName(cfg.tech)
-              << "\n\n";
+    std::cout << bench << " / " << r.technique << "\n\n";
     Table t({"metric", "value"});
     auto row = [&](const std::string &k, const std::string &v) {
         t.addRow({k, v});
@@ -68,5 +78,8 @@ main(int argc, char **argv)
         Table::fmt(s.rfIntLiveSum / cyc, 1));
     row("RF int banks off", Table::pct(r.rfIntBanksOffFraction()));
     t.print(std::cout);
+
+    if (json)
+        std::cout << "\n" << sim::toJson(r) << "\n";
     return 0;
 }

@@ -107,6 +107,9 @@ struct CoreStats
     {
         *this = CoreStats{};
     }
+
+    /** Bit-exact comparison (sweep-engine determinism checks). */
+    bool operator==(const CoreStats &) const = default;
 };
 
 /** One in-flight instruction. */

@@ -13,6 +13,7 @@ IssueQueue::IssueQueue(const IqConfig &config) : cfg(config)
     nbanks = cfg.numEntries / cfg.bankSize;
     slots.assign(static_cast<std::size_t>(cfg.numEntries), {});
     bankValid.assign(static_cast<std::size_t>(nbanks), 0);
+    bankPending.assign(static_cast<std::size_t>(nbanks), 0);
     maxNewRange = cfg.numEntries; // unconstrained until a hint arrives
 }
 
@@ -31,7 +32,11 @@ IssueQueue::dispatch(int robIdx, int psrc1, bool ready1, int psrc2,
     e.ready1 = ready1 || psrc1 < 0;
     e.ready2 = ready2 || psrc2 < 0;
     e.seq = seq;
-    bankValid[slot / cfg.bankSize]++;
+    const int bank = slot / cfg.bankSize;
+    const int pending = (e.ready1 ? 0 : 1) + (e.ready2 ? 0 : 1);
+    bankValid[bank]++;
+    bankPending[bank] += pending;
+    pendingOps += pending;
     tail = next(tail);
     count++;
     regionLen++;
@@ -68,20 +73,48 @@ IssueQueue::wakeup(int ptag)
     }
 
     // gated comparisons: only non-ready operands of valid entries
+    // participate, and pendingOps is exactly their count — account
+    // for them in bulk, then walk only to set ready bits, skipping
+    // banks with nothing pending and stopping once every pending
+    // operand has been examined.
+    events.cmpGated += static_cast<std::uint64_t>(pendingOps);
+
+    int remaining = pendingOps;
     int slot = head;
-    for (int i = 0; i < regionLen; i++, slot = next(slot)) {
-        Entry &e = slots[slot];
-        if (!e.valid)
+    int i = 0;
+    while (remaining > 0 && i < regionLen) {
+        const int bank = slot / cfg.bankSize;
+        int chunk = (bank + 1) * cfg.bankSize - slot;
+        if (chunk > regionLen - i)
+            chunk = regionLen - i;
+        if (bankPending[bank] == 0) {
+            // banks tile the slot array, so the chunk never wraps
+            i += chunk;
+            slot += chunk;
+            if (slot == cfg.numEntries)
+                slot = 0;
             continue;
-        if (!e.ready1) {
-            events.cmpGated++;
-            if (e.psrc1 == ptag)
-                e.ready1 = true;
         }
-        if (!e.ready2) {
-            events.cmpGated++;
-            if (e.psrc2 == ptag)
-                e.ready2 = true;
+        for (int k = 0; k < chunk; k++, i++, slot = next(slot)) {
+            Entry &e = slots[slot];
+            if (!e.valid)
+                continue;
+            if (!e.ready1) {
+                remaining--;
+                if (e.psrc1 == ptag) {
+                    e.ready1 = true;
+                    bankPending[bank]--;
+                    pendingOps--;
+                }
+            }
+            if (!e.ready2) {
+                remaining--;
+                if (e.psrc2 == ptag) {
+                    e.ready2 = true;
+                    bankPending[bank]--;
+                    pendingOps--;
+                }
+            }
         }
     }
 }
@@ -91,10 +124,29 @@ IssueQueue::collectReady(std::vector<Candidate> &out) const
 {
     out.clear();
     int slot = head;
-    for (int i = 0; i < regionLen; i++, slot = next(slot)) {
-        const Entry &e = slots[slot];
-        if (e.valid && e.ready1 && e.ready2)
-            out.push_back({slot, e.robIdx, i});
+    int i = 0;
+    int unseen = count; // valid entries not reached yet
+    while (unseen > 0 && i < regionLen) {
+        const int bank = slot / cfg.bankSize;
+        int chunk = (bank + 1) * cfg.bankSize - slot;
+        if (chunk > regionLen - i)
+            chunk = regionLen - i;
+        if (bankValid[bank] == 0) {
+            // empty bank: every slot in the chunk is a hole
+            i += chunk;
+            slot += chunk;
+            if (slot == cfg.numEntries)
+                slot = 0;
+            continue;
+        }
+        for (int k = 0; k < chunk; k++, i++, slot = next(slot)) {
+            const Entry &e = slots[slot];
+            if (!e.valid)
+                continue;
+            unseen--;
+            if (e.ready1 && e.ready2)
+                out.push_back({slot, e.robIdx, i});
+        }
     }
 }
 
@@ -103,9 +155,15 @@ IssueQueue::markIssued(int slot)
 {
     Entry &e = slots[slot];
     SIQ_ASSERT(e.valid, "issuing an empty slot");
+    const int bank = slot / cfg.bankSize;
+    // entries normally issue ready, but direct markIssued calls (and
+    // any future squash path) may retire pending operands
+    const int pending = (e.ready1 ? 0 : 1) + (e.ready2 ? 0 : 1);
+    bankPending[bank] -= pending;
+    pendingOps -= pending;
     e.valid = false;
     e.robIdx = -1;
-    bankValid[slot / cfg.bankSize]--;
+    bankValid[bank]--;
     count--;
     events.issueReads++;
     if (slot == newHead)

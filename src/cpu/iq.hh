@@ -63,6 +63,9 @@ struct IqEventCounts
     {
         *this = IqEventCounts{};
     }
+
+    /** Bit-exact comparison (sweep-engine determinism checks). */
+    bool operator==(const IqEventCounts &) const = default;
 };
 
 /** The issue queue. */
@@ -155,6 +158,11 @@ class IssueQueue
     int nbanks;
     std::vector<Entry> slots;
     std::vector<int> bankValid; ///< valid entries per bank
+    /** Non-ready operands of valid entries, per bank; lets wakeup
+     *  skip banks with nothing to match and collectReady/wakeup
+     *  early-out, without changing any event count. */
+    std::vector<int> bankPending;
+    int pendingOps = 0; ///< total non-ready operands (= sum of above)
     int head = 0;
     int tail = 0;
     int newHead = 0;

@@ -1,0 +1,635 @@
+#include "sim/report.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/technique.hh"
+
+namespace siq::sim
+{
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** strtoull with whole-token validation: garbage fatals, never 0.
+ *  Counters are unsigned decimals, so signs (which strtoull would
+ *  silently wrap) and overflow are malformed too. */
+std::uint64_t
+parseU64(const std::string &token)
+{
+    if (token.empty() ||
+        !std::isdigit(static_cast<unsigned char>(token[0])))
+        fatal("report: malformed integer '", token, "'");
+    char *end = nullptr;
+    errno = 0;
+    const std::uint64_t v = std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size() || errno == ERANGE)
+        fatal("report: malformed integer '", token, "'");
+    return v;
+}
+
+/** strtod with whole-token and range validation. */
+double
+parseDouble(const std::string &token)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size() ||
+        errno == ERANGE)
+        fatal("report: malformed number '", token, "'");
+    return v;
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+// ------------------------------------------------------- JSON values
+
+/** Minimal JSON tree; numbers keep their raw token so integer
+ *  counters convert exactly. */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string token; ///< raw number token or decoded string
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        for (const auto &[k, v] : object) {
+            if (k == key)
+                return v;
+        }
+        fatal("report JSON: missing key '", key, "'");
+    }
+
+    std::uint64_t
+    asU64() const
+    {
+        if (kind != Kind::Number)
+            fatal("report JSON: expected number");
+        return parseU64(token);
+    }
+
+    double
+    asDouble() const
+    {
+        if (kind != Kind::Number)
+            fatal("report JSON: expected number");
+        return parseDouble(token);
+    }
+
+    const std::string &
+    asString() const
+    {
+        if (kind != Kind::String)
+            fatal("report JSON: expected string");
+        return token;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos != s.size())
+            fatal("report JSON: trailing data at offset ", pos);
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\n' || s[pos] == '\t' ||
+                s[pos] == '\r'))
+            pos++;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= s.size())
+            fatal("report JSON: unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fatal("report JSON: expected '", c, "' at offset ", pos);
+        pos++;
+    }
+
+    JsonValue
+    value()
+    {
+        const char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            literal("null");
+            return {};
+        }
+        return number();
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; p++) {
+            if (pos >= s.size() || s[pos] != *p)
+                fatal("report JSON: bad literal at offset ", pos);
+            pos++;
+        }
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        const std::size_t start = pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E'))
+            pos++;
+        if (pos == start)
+            fatal("report JSON: bad number at offset ", pos);
+        v.token = s.substr(start, pos - start);
+        return v;
+    }
+
+    JsonValue
+    string()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                pos++;
+                if (pos >= s.size())
+                    break;
+                switch (s[pos]) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    v.token += s[pos];
+                    break;
+                  case 'n':
+                    v.token += '\n';
+                    break;
+                  case 't':
+                    v.token += '\t';
+                    break;
+                  case 'r':
+                    v.token += '\r';
+                    break;
+                  case 'b':
+                    v.token += '\b';
+                    break;
+                  case 'f':
+                    v.token += '\f';
+                    break;
+                  default:
+                    // \uXXXX and anything else: fail loudly rather
+                    // than silently mangling the string
+                    fatal("report JSON: unsupported escape '\\",
+                          s[pos], "' at offset ", pos);
+                }
+                pos++;
+                continue;
+            }
+            v.token += s[pos++];
+        }
+        if (pos >= s.size())
+            fatal("report JSON: unterminated string");
+        pos++; // closing quote
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            pos++;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            const char c = peek();
+            pos++;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fatal("report JSON: expected ',' at offset ", pos - 1);
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            pos++;
+            return v;
+        }
+        while (true) {
+            JsonValue key = string();
+            expect(':');
+            v.object.emplace_back(key.token, value());
+            const char c = peek();
+            pos++;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fatal("report JSON: expected ',' at offset ", pos - 1);
+        }
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+// ----------------------------------------------------- field helpers
+
+void
+appendCellJson(std::ostream &os, const RunResult &r)
+{
+    os << "{\"benchmark\":" << quote(r.benchmark)
+       << ",\"technique\":" << quote(r.technique)
+       << ",\"family\":" << quote(techniqueName(r.tech))
+       << ",\"generateSeconds\":" << fmtDouble(r.generateSeconds);
+    os << ",\"stats\":{";
+    const char *sep = "";
+#define X(f)                                                             \
+    os << sep << "\"" #f "\":" << r.stats.f;                             \
+    sep = ",";
+    SIQ_CORE_STATS_FIELDS(X)
+#undef X
+    os << "},\"iq\":{";
+    sep = "";
+#define X(f)                                                             \
+    os << sep << "\"" #f "\":" << r.iq.f;                                \
+    sep = ",";
+    SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+    os << "},\"compile\":{";
+    sep = "";
+#define X(f)                                                             \
+    os << sep << "\"" #f "\":" << r.compile.f;                           \
+    sep = ",";
+    SIQ_COMPILE_STATS_FIELDS(X)
+#undef X
+    os << sep << "\"seconds\":" << fmtDouble(r.compile.seconds)
+       << "}}";
+}
+
+RunResult
+cellFromJson(const JsonValue &v)
+{
+    RunResult r;
+    r.benchmark = v.at("benchmark").asString();
+    r.technique = v.at("technique").asString();
+    const std::string &family = v.at("family").asString();
+    const auto tech = techniqueFromName(family);
+    if (!tech)
+        fatal("report JSON: unknown technique family '", family, "'");
+    r.tech = *tech;
+    r.generateSeconds = v.at("generateSeconds").asDouble();
+    const JsonValue &stats = v.at("stats");
+    const JsonValue &iq = v.at("iq");
+    const JsonValue &compile = v.at("compile");
+#define X(f) r.stats.f = stats.at(#f).asU64();
+    SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) r.iq.f = iq.at(#f).asU64();
+    SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+#define X(f)                                                             \
+    r.compile.f =                                                        \
+        static_cast<std::size_t>(compile.at(#f).asU64());
+    SIQ_COMPILE_STATS_FIELDS(X)
+#undef X
+    r.compile.seconds = compile.at("seconds").asDouble();
+    return r;
+}
+
+} // namespace
+
+// --------------------------------------------------------------- API
+
+std::string
+toJson(const RunResult &result)
+{
+    std::ostringstream os;
+    appendCellJson(os, result);
+    return os.str();
+}
+
+std::string
+toJson(const PowerComparison &cmp)
+{
+    std::ostringstream os;
+    os << "{\"iqDynamicSaving\":" << fmtDouble(cmp.iqDynamicSaving)
+       << ",\"iqStaticSaving\":" << fmtDouble(cmp.iqStaticSaving)
+       << ",\"rfDynamicSaving\":" << fmtDouble(cmp.rfDynamicSaving)
+       << ",\"rfStaticSaving\":" << fmtDouble(cmp.rfStaticSaving)
+       << ",\"nonEmptySaving\":" << fmtDouble(cmp.nonEmptySaving)
+       << "}";
+    return os.str();
+}
+
+void
+writeJson(std::ostream &os, const SweepResult &result)
+{
+    os << "{\"benchmarks\":[";
+    for (std::size_t i = 0; i < result.benchmarks.size(); i++)
+        os << (i ? "," : "") << quote(result.benchmarks[i]);
+    os << "],\"techniques\":[";
+    for (std::size_t i = 0; i < result.techniques.size(); i++)
+        os << (i ? "," : "") << quote(result.techniques[i]);
+    os << "],\"jobs\":" << result.jobsUsed
+       << ",\"wallSeconds\":" << fmtDouble(result.wallSeconds)
+       << ",\"cache\":{\"workloadBuilds\":"
+       << result.cache.workloadBuilds
+       << ",\"workloadHits\":" << result.cache.workloadHits
+       << ",\"compileBuilds\":" << result.cache.compileBuilds
+       << ",\"compileHits\":" << result.cache.compileHits
+       << "},\"cells\":[";
+    for (std::size_t i = 0; i < result.cells.size(); i++) {
+        if (i)
+            os << ",";
+        os << "\n";
+        appendCellJson(os, result.cells[i]);
+    }
+    os << "\n]}\n";
+}
+
+SweepResult
+readJson(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    const JsonValue root = JsonParser(text).parse();
+
+    SweepResult result;
+    for (const auto &b : root.at("benchmarks").array)
+        result.benchmarks.push_back(b.asString());
+    for (const auto &t : root.at("techniques").array)
+        result.techniques.push_back(t.asString());
+    result.jobsUsed = static_cast<int>(root.at("jobs").asU64());
+    result.wallSeconds = root.at("wallSeconds").asDouble();
+    const JsonValue &cache = root.at("cache");
+    result.cache.workloadBuilds = cache.at("workloadBuilds").asU64();
+    result.cache.workloadHits = cache.at("workloadHits").asU64();
+    result.cache.compileBuilds = cache.at("compileBuilds").asU64();
+    result.cache.compileHits = cache.at("compileHits").asU64();
+    for (const auto &cell : root.at("cells").array)
+        result.cells.push_back(cellFromJson(cell));
+
+    // SweepResult::at() assumes a complete technique-major matrix;
+    // reject filtered, reordered or hand-edited cell arrays (the
+    // same defence readCsv applies to row sets)
+    const std::size_t nb = result.benchmarks.size();
+    if (result.cells.size() != nb * result.techniques.size())
+        fatal("report JSON: cell count does not match the matrix");
+    for (std::size_t i = 0; i < result.cells.size(); i++) {
+        const RunResult &r = result.cells[i];
+        if (r.benchmark != result.benchmarks[i % nb] ||
+            r.technique != result.techniques[i / nb])
+            fatal("report JSON: cells are not in technique-major "
+                  "matrix order (cell ", i, ")");
+    }
+    return result;
+}
+
+void
+writeCsv(std::ostream &os, const SweepResult &result)
+{
+    os << "benchmark,technique,family,generateSeconds,compileSeconds";
+#define X(f) os << ",stats_" #f;
+    SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) os << ",iq_" #f;
+    SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+#define X(f) os << ",compile_" #f;
+    SIQ_COMPILE_STATS_FIELDS(X)
+#undef X
+    os << "\n";
+    for (const auto &r : result.cells) {
+        os << r.benchmark << ',' << r.technique << ','
+           << techniqueName(r.tech) << ','
+           << fmtDouble(r.generateSeconds) << ','
+           << fmtDouble(r.compile.seconds);
+#define X(f) os << ',' << r.stats.f;
+        SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) os << ',' << r.iq.f;
+        SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+#define X(f) os << ',' << r.compile.f;
+        SIQ_COMPILE_STATS_FIELDS(X)
+#undef X
+        os << "\n";
+    }
+}
+
+SweepResult
+readCsv(std::istream &is)
+{
+    auto split = [](const std::string &line) {
+        std::vector<std::string> cells;
+        std::string cur;
+        for (char c : line) {
+            if (c == ',') {
+                cells.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        cells.push_back(cur);
+        return cells;
+    };
+
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("report CSV: empty input");
+    const std::vector<std::string> headers = split(line);
+    std::map<std::string, std::size_t> col;
+    for (std::size_t i = 0; i < headers.size(); i++)
+        col[headers[i]] = i;
+    auto need = [&](const std::string &name) {
+        auto it = col.find(name);
+        if (it == col.end())
+            fatal("report CSV: missing column '", name, "'");
+        return it->second;
+    };
+
+    SweepResult result;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        const std::vector<std::string> cells = split(line);
+        if (cells.size() != headers.size())
+            fatal("report CSV: row width mismatch");
+        auto u64 = [&](const std::string &name) {
+            return parseU64(cells[need(name)]);
+        };
+        auto dbl = [&](const std::string &name) {
+            return parseDouble(cells[need(name)]);
+        };
+        RunResult r;
+        r.benchmark = cells[need("benchmark")];
+        r.technique = cells[need("technique")];
+        const std::string &family = cells[need("family")];
+        const auto tech = techniqueFromName(family);
+        if (!tech)
+            fatal("report CSV: unknown technique family '", family,
+                  "'");
+        r.tech = *tech;
+        r.generateSeconds = dbl("generateSeconds");
+        r.compile.seconds = dbl("compileSeconds");
+#define X(f) r.stats.f = u64("stats_" #f);
+        SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) r.iq.f = u64("iq_" #f);
+        SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+#define X(f)                                                             \
+    r.compile.f = static_cast<std::size_t>(u64("compile_" #f));
+        SIQ_COMPILE_STATS_FIELDS(X)
+#undef X
+        result.cells.push_back(std::move(r));
+
+        const auto &added = result.cells.back();
+        bool haveBench = false;
+        for (const auto &b : result.benchmarks)
+            haveBench = haveBench || b == added.benchmark;
+        if (!haveBench)
+            result.benchmarks.push_back(added.benchmark);
+        bool haveTech = false;
+        for (const auto &t : result.techniques)
+            haveTech = haveTech || t == added.technique;
+        if (!haveTech)
+            result.techniques.push_back(added.technique);
+    }
+
+    // SweepResult::at() assumes a complete technique-major matrix;
+    // reject filtered, reordered or hand-edited row sets
+    const std::size_t nb = result.benchmarks.size();
+    if (result.cells.size() != nb * result.techniques.size())
+        fatal("report CSV: cell count does not match the matrix");
+    for (std::size_t i = 0; i < result.cells.size(); i++) {
+        const RunResult &r = result.cells[i];
+        if (r.benchmark != result.benchmarks[i % nb] ||
+            r.technique != result.techniques[i / nb])
+            fatal("report CSV: rows are not in technique-major "
+                  "matrix order (row ", i + 2, ")");
+    }
+    return result;
+}
+
+void
+writePowerCsv(std::ostream &os, const SweepResult &result,
+              const std::string &baselineTechnique,
+              const power::IqPowerParams &iqParams,
+              const power::RfPowerParams &rfParams)
+{
+    std::size_t baseIdx = result.techniques.size();
+    for (std::size_t t = 0; t < result.techniques.size(); t++) {
+        if (result.techniques[t] == baselineTechnique)
+            baseIdx = t;
+    }
+    if (baseIdx == result.techniques.size())
+        fatal("power CSV: baseline technique '", baselineTechnique,
+              "' not in the sweep");
+
+    os << "benchmark,technique,iqDynamicSaving,iqStaticSaving,"
+          "rfDynamicSaving,rfStaticSaving,nonEmptySaving\n";
+    for (std::size_t t = 0; t < result.techniques.size(); t++) {
+        if (t == baseIdx)
+            continue;
+        for (std::size_t b = 0; b < result.benchmarks.size(); b++) {
+            const auto cmp =
+                comparePower(result.at(baseIdx, b), result.at(t, b),
+                             iqParams, rfParams);
+            os << result.benchmarks[b] << ','
+               << result.techniques[t] << ','
+               << fmtDouble(cmp.iqDynamicSaving) << ','
+               << fmtDouble(cmp.iqStaticSaving) << ','
+               << fmtDouble(cmp.rfDynamicSaving) << ','
+               << fmtDouble(cmp.rfStaticSaving) << ','
+               << fmtDouble(cmp.nonEmptySaving) << "\n";
+        }
+    }
+}
+
+} // namespace siq::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Structured result export for the experiment engine: JSON and CSV
+ * emitters (and matching readers) for RunResult matrices and the
+ * paper's PowerComparison savings, so figure data can leave the
+ * process machine-readably instead of only as ASCII tables.
+ *
+ * Round-trip guarantee: integer counters are emitted verbatim and
+ * doubles with 17 significant digits, so writeJson → readJson (and
+ * writeCsv → readCsv) reproduces every measurement bit-exactly.
+ */
+
+#ifndef SIQ_SIM_REPORT_HH
+#define SIQ_SIM_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/sweep.hh"
+
+// Every counter of the measurement structs, listed once, so the
+// JSON/CSV writers and readers and the determinism comparison
+// (identicalMeasurement) can never drift apart field-wise.
+#define SIQ_CORE_STATS_FIELDS(X)                                         \
+    X(cycles) X(committed) X(fetched) X(dispatched) X(issued)            \
+    X(hintsApplied) X(branchMispredicts) X(frontRedirects)               \
+    X(condBranches) X(dispatchStallRob) X(dispatchStallIqFull)           \
+    X(dispatchStallRange) X(dispatchStallLimit) X(dispatchStallRegs)     \
+    X(dispatchStallLsq) X(loads) X(stores) X(loadForwards)               \
+    X(rfIntReads) X(rfIntWrites) X(rfFpReads) X(rfFpWrites)              \
+    X(rfIntLiveSum) X(rfIntPoweredBankCycles) X(rfIntBankCycles)         \
+    X(rfFpLiveSum) X(rfFpPoweredBankCycles) X(rfFpBankCycles)
+
+#define SIQ_IQ_EVENT_FIELDS(X)                                           \
+    X(broadcasts) X(cmpGated) X(cmpPowered) X(cmpConventional)           \
+    X(dispatchWrites) X(issueReads) X(poweredBankCycles)                 \
+    X(totalBankCycles) X(occupancySum) X(cycles)
+
+#define SIQ_COMPILE_STATS_FIELDS(X)                                      \
+    X(proceduresAnalyzed) X(blocksAnalyzed) X(loopsAnalyzed)             \
+    X(hintNoopsInserted) X(tagsApplied) X(hintsElided)
+
+namespace siq::sim
+{
+
+/// @name JSON.
+/// @{
+
+/** Serialize one run (a flat JSON object). */
+std::string toJson(const RunResult &result);
+
+/** Serialize the savings of one technique run vs its baseline. */
+std::string toJson(const PowerComparison &cmp);
+
+/** Serialize a whole sweep matrix. */
+void writeJson(std::ostream &os, const SweepResult &result);
+
+/** Parse writeJson output back into a SweepResult (cache counters
+ *  and wall-clock metadata included). Fatal on malformed input. */
+SweepResult readJson(std::istream &is);
+
+/// @}
+
+/// @name CSV.
+/// @{
+
+/** One row per cell, every counter a column; header row first. */
+void writeCsv(std::ostream &os, const SweepResult &result);
+
+/** Parse writeCsv output. The benchmark/technique axes are rebuilt
+ *  from the rows in first-appearance order; cache counters are not
+ *  part of the CSV and come back zero. Fatal on malformed input. */
+SweepResult readCsv(std::istream &is);
+
+/**
+ * Per-cell power savings vs the named baseline technique (which must
+ * be part of the sweep): the figure 8-12 numbers as CSV.
+ */
+void writePowerCsv(std::ostream &os, const SweepResult &result,
+                   const std::string &baselineTechnique = "baseline",
+                   const power::IqPowerParams &iqParams = {},
+                   const power::RfPowerParams &rfParams = {});
+
+/// @}
+
+} // namespace siq::sim
+
+#endif // SIQ_SIM_REPORT_HH

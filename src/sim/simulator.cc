@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "sim/technique.hh"
 
 namespace siq::sim
 {
@@ -31,59 +32,24 @@ techniqueName(Technique tech)
 std::optional<compiler::CompilerConfig>
 compilerConfigFor(Technique tech, const RunConfig &cfg)
 {
-    compiler::CompilerConfig cc;
-    cc.machine.issueWidth = cfg.core.issueWidth;
-    cc.machine.iqSize = cfg.core.iq.numEntries;
-    cc.machine.fuCounts = cfg.core.fuCounts;
-    cc.machine.l1dHitLatency = cfg.core.mem.l1d.hitLatency;
-    cc.minHint = cfg.minHint;
-    cc.elideRedundant = cfg.elideRedundant;
-    cc.unrollFactor = cfg.unrollFactor;
-
-    switch (tech) {
-      case Technique::Noop:
-        cc.scheme = compiler::HintScheme::Noop;
-        return cc;
-      case Technique::Extension:
-        cc.scheme = compiler::HintScheme::Tag;
-        return cc;
-      case Technique::Improved:
-        cc.scheme = compiler::HintScheme::Tag;
-        cc.interprocFu = true;
-        return cc;
-      default:
+    const TechniqueDef &def = techniqueDef(tech);
+    if (!def.compilerConfig)
         return std::nullopt;
-    }
+    return def.compilerConfig(cfg);
 }
 
 RunResult
-runOne(const std::string &benchmark, const RunConfig &cfg)
+simulateProgram(const Program &prog, const TechniqueDef &def,
+                const RunConfig &cfg)
 {
     RunResult result;
-    result.benchmark = benchmark;
-    result.tech = cfg.tech;
-
-    const auto g0 = std::chrono::steady_clock::now();
-    Program prog = workloads::generate(benchmark, cfg.workload);
-    result.generateSeconds =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - g0)
-            .count();
-
-    if (const auto cc = compilerConfigFor(cfg.tech, cfg))
-        result.compile = compiler::annotate(prog, *cc);
+    result.technique = def.name;
+    result.tech = def.tag;
+    result.benchmark = prog.name;
 
     std::unique_ptr<IqLimitController> controller;
-    if (cfg.tech == Technique::Abella) {
-        AbellaConfig ac = cfg.abella;
-        ac.iqSize = cfg.core.iq.numEntries;
-        ac.robSize = cfg.core.robSize;
-        controller = std::make_unique<AbellaResizer>(ac);
-    } else if (cfg.tech == Technique::Folegnani) {
-        FolegnaniConfig fc = cfg.folegnani;
-        fc.iqSize = cfg.core.iq.numEntries;
-        controller = std::make_unique<FolegnaniResizer>(fc);
-    }
+    if (def.controller)
+        controller = def.controller(cfg);
 
     Core core(prog, cfg.core, controller.get());
     if (cfg.warmupInsts > 0)
@@ -94,6 +60,45 @@ runOne(const std::string &benchmark, const RunConfig &cfg)
     result.stats = core.stats();
     result.iq = core.iqEvents();
     return result;
+}
+
+RunResult
+runOne(const std::string &benchmark, const std::string &technique,
+       const RunConfig &cfg)
+{
+    const TechniqueDef *def = findTechnique(technique);
+    if (def == nullptr)
+        fatal("unknown technique: ", technique);
+
+    // mirror the sweep worker: factories see the technique's family
+    // tag, so serial and threaded runs are configured identically
+    RunConfig cellCfg = cfg;
+    cellCfg.tech = def->tag;
+
+    const auto g0 = std::chrono::steady_clock::now();
+    Program prog = workloads::generate(benchmark, cellCfg.workload);
+    const double generateSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - g0)
+            .count();
+
+    compiler::CompileStats compileStats;
+    if (def->compilerConfig) {
+        if (const auto cc = def->compilerConfig(cellCfg))
+            compileStats = compiler::annotate(prog, *cc);
+    }
+
+    RunResult result = simulateProgram(prog, *def, cellCfg);
+    result.benchmark = benchmark;
+    result.generateSeconds = generateSeconds;
+    result.compile = compileStats;
+    return result;
+}
+
+RunResult
+runOne(const std::string &benchmark, const RunConfig &cfg)
+{
+    return runOne(benchmark, techniqueName(cfg.tech), cfg);
 }
 
 PowerComparison

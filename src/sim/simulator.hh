@@ -33,8 +33,10 @@ enum class Technique
     Folegnani, ///< hardware adaptive resizer (ablation A4)
 };
 
-/** Human-readable technique name. */
+/** Human-readable technique name (also its registry key). */
 std::string techniqueName(Technique tech);
+
+struct TechniqueDef; // the registry entry type (sim/technique.hh)
 
 /** One experiment's parameters. */
 struct RunConfig
@@ -56,6 +58,9 @@ struct RunConfig
 struct RunResult
 {
     std::string benchmark;
+    /** Registry name of the technique that produced this result (for
+     *  variants, the variant name, not the built-in family). */
+    std::string technique = "baseline";
     Technique tech = Technique::Baseline;
     CoreStats stats;
     IqEventCounts iq;
@@ -104,12 +109,29 @@ struct RunResult
     }
 };
 
-/** Map a technique to its compiler configuration, if it has one. */
+/** Map a technique to its compiler configuration, if it has one
+ *  (delegates to the registry entry's factory). */
 std::optional<compiler::CompilerConfig>
 compilerConfigFor(Technique tech, const RunConfig &cfg);
 
-/** Run one benchmark under one technique. */
+/**
+ * Simulate an already-prepared (annotated, finalized) program under a
+ * technique's controller. This is the single simulation path shared
+ * by serial runOne and the threaded sweep engine; the caller fills in
+ * workload/compile metadata on the returned result.
+ */
+RunResult simulateProgram(const Program &prog, const TechniqueDef &def,
+                          const RunConfig &cfg);
+
+/** Run one benchmark under one built-in technique (cfg.tech). */
 RunResult runOne(const std::string &benchmark, const RunConfig &cfg);
+
+/**
+ * Run one benchmark under any registered technique (built-in or a
+ * bench/example-registered variant). Fatal on unknown names.
+ */
+RunResult runOne(const std::string &benchmark,
+                 const std::string &technique, const RunConfig &cfg);
 
 /** Per-benchmark savings relative to a baseline run (figures 8-12). */
 struct PowerComparison

@@ -1,0 +1,327 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+#include "sim/technique.hh"
+
+namespace siq::sim
+{
+
+namespace
+{
+
+std::string
+workloadKey(const std::string &benchmark,
+            const workloads::WorkloadParams &wp)
+{
+    std::ostringstream os;
+    os << benchmark << '|' << wp.scale << '|' << wp.repDivisor << '|'
+       << wp.seed;
+    return os.str();
+}
+
+/** Serialize every knob that changes the annotation output. */
+std::string
+compileKey(const std::string &wkey,
+           const compiler::CompilerConfig &cc)
+{
+    std::ostringstream os;
+    // full precision: configs differing in any loopSlack bit must
+    // not collide into one cached annotation
+    os.precision(17);
+    os << wkey << "|scheme=" << static_cast<int>(cc.scheme)
+       << "|interproc=" << cc.interprocFu
+       << "|elide=" << cc.elideRedundant << "|min=" << cc.minHint
+       << "|unroll=" << cc.unrollFactor << "|slack=" << cc.loopSlack
+       << "|paths=" << cc.maxLoopPaths
+       << "|iw=" << cc.machine.issueWidth
+       << "|dw=" << cc.machine.dispatchWidth
+       << "|iq=" << cc.machine.iqSize
+       << "|l1d=" << cc.machine.l1dHitLatency << "|fu=";
+    for (int n : cc.machine.fuCounts)
+        os << n << ',';
+    return os.str();
+}
+
+/** A cached program plus its build metadata. */
+struct CachedProgram
+{
+    std::shared_ptr<const Program> prog;
+    compiler::CompileStats compile; ///< empty for raw workloads
+    double buildSeconds = 0.0;
+};
+
+/**
+ * Build-once map: the first requester of a key builds under a
+ * shared_future, concurrent requesters block on it, later requesters
+ * hit. Build/hit counting happens under the map lock so the totals
+ * are exact.
+ */
+class ProgramCache
+{
+  public:
+    CachedProgram
+    get(const std::string &key,
+        const std::function<CachedProgram()> &build,
+        std::atomic<std::uint64_t> &builds,
+        std::atomic<std::uint64_t> &hits)
+    {
+        std::promise<CachedProgram> promise;
+        std::shared_future<CachedProgram> future;
+        bool builder = false;
+        {
+            std::lock_guard lock(mu);
+            auto it = map.find(key);
+            if (it == map.end()) {
+                future = promise.get_future().share();
+                map.emplace(key, future);
+                builder = true;
+                builds++;
+            } else {
+                future = it->second;
+            }
+        }
+        if (builder) {
+            try {
+                promise.set_value(build());
+            } catch (...) {
+                // don't poison the key: concurrent waiters get the
+                // exception, but later requesters retry the build
+                {
+                    std::lock_guard lock(mu);
+                    map.erase(key);
+                    builds--; // nothing was actually built
+                }
+                promise.set_exception(std::current_exception());
+            }
+            return future.get();
+        }
+        CachedProgram shared = future.get(); // throws if build failed
+        hits++; // only successful shares count
+        return shared;
+    }
+
+  private:
+    std::mutex mu;
+    std::unordered_map<std::string, std::shared_future<CachedProgram>>
+        map;
+};
+
+} // namespace
+
+struct ExperimentRunner::Impl
+{
+    int defaultJobs;
+    ProgramCache workloads;
+    ProgramCache compiled;
+    std::atomic<std::uint64_t> workloadBuilds{0};
+    std::atomic<std::uint64_t> workloadHits{0};
+    std::atomic<std::uint64_t> compileBuilds{0};
+    std::atomic<std::uint64_t> compileHits{0};
+
+    RunResult runCell(const CellKey &key, const TechniqueDef &def,
+                      const RunConfig &cfg);
+};
+
+RunResult
+ExperimentRunner::Impl::runCell(const CellKey &key,
+                                const TechniqueDef &def,
+                                const RunConfig &cfg)
+{
+    const std::string wkey = workloadKey(key.benchmark, cfg.workload);
+    const CachedProgram raw = workloads.get(
+        wkey,
+        [&] {
+            CachedProgram built;
+            const auto t0 = std::chrono::steady_clock::now();
+            built.prog = std::make_shared<const Program>(
+                workloads::generate(key.benchmark, cfg.workload));
+            built.buildSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            return built;
+        },
+        workloadBuilds, workloadHits);
+
+    CachedProgram toRun = raw;
+    if (def.compilerConfig) {
+        if (const auto cc = def.compilerConfig(cfg)) {
+            toRun = compiled.get(
+                compileKey(wkey, *cc),
+                [&] {
+                    CachedProgram built;
+                    Program annotated = *raw.prog;
+                    built.compile = compiler::annotate(annotated, *cc);
+                    built.prog = std::make_shared<const Program>(
+                        std::move(annotated));
+                    built.buildSeconds = raw.buildSeconds;
+                    return built;
+                },
+                compileBuilds, compileHits);
+        }
+    }
+
+    RunResult result = simulateProgram(*toRun.prog, def, cfg);
+    result.benchmark = key.benchmark;
+    result.generateSeconds = raw.buildSeconds;
+    result.compile = toRun.compile;
+    return result;
+}
+
+ExperimentRunner::ExperimentRunner(int jobs)
+    : impl(std::make_unique<Impl>())
+{
+    impl->defaultJobs = jobs;
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+SweepCacheStats
+ExperimentRunner::cacheStats() const
+{
+    SweepCacheStats s;
+    s.workloadBuilds = impl->workloadBuilds.load();
+    s.workloadHits = impl->workloadHits.load();
+    s.compileBuilds = impl->compileBuilds.load();
+    s.compileHits = impl->compileHits.load();
+    return s;
+}
+
+std::uint64_t
+ExperimentRunner::mixSeed(std::uint64_t base, std::uint64_t a,
+                          std::uint64_t b)
+{
+    // splitmix64 over the packed coordinates
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (a * 0x10001 + b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+SweepResult
+ExperimentRunner::run(const SweepSpec &spec)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    SweepResult result;
+    result.benchmarks = spec.benchmarks;
+    result.techniques = spec.techniques;
+
+    // resolve every technique up front so unknown names fail fast,
+    // before any thread spawns or simulation starts
+    std::vector<const TechniqueDef *> defs;
+    defs.reserve(spec.techniques.size());
+    for (const auto &name : spec.techniques) {
+        const TechniqueDef *def = findTechnique(name);
+        if (def == nullptr)
+            fatal("sweep over unknown technique: ", name);
+        defs.push_back(def);
+    }
+
+    const std::size_t nb = spec.benchmarks.size();
+    const std::size_t nt = spec.techniques.size();
+    const std::size_t ncells = nb * nt;
+    result.cells.resize(ncells);
+    if (ncells == 0) {
+        result.cache = cacheStats();
+        return result;
+    }
+
+    int jobs = spec.jobs != 0 ? spec.jobs : impl->defaultJobs;
+    if (jobs <= 0)
+        jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0)
+        jobs = 1;
+    if (static_cast<std::size_t>(jobs) > ncells)
+        jobs = static_cast<int>(ncells);
+
+    std::atomic<std::size_t> nextCell{0};
+    std::mutex errorMu;
+    std::exception_ptr firstError;
+
+    auto work = [&] {
+        for (std::size_t i = nextCell.fetch_add(1); i < ncells;
+             i = nextCell.fetch_add(1)) {
+            {
+                std::lock_guard lock(errorMu);
+                if (firstError)
+                    return; // abandon remaining cells
+            }
+            try {
+                CellKey key;
+                key.techIdx = i / nb;
+                key.benchIdx = i % nb;
+                key.benchmark = spec.benchmarks[key.benchIdx];
+                key.technique = spec.techniques[key.techIdx];
+
+                RunConfig cfg = spec.base;
+                cfg.tech = defs[key.techIdx]->tag;
+                if (spec.perCell)
+                    spec.perCell(cfg, key);
+
+                result.cells[i] =
+                    impl->runCell(key, *defs[key.techIdx], cfg);
+            } catch (...) {
+                std::lock_guard lock(errorMu);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(jobs));
+        for (int j = 0; j < jobs; j++)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    result.jobsUsed = jobs;
+    result.cache = cacheStats();
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return result;
+}
+
+const RunResult &
+SweepResult::at(const std::string &technique,
+                std::size_t benchIdx) const
+{
+    for (std::size_t t = 0; t < techniques.size(); t++) {
+        if (techniques[t] == technique)
+            return at(t, benchIdx);
+    }
+    fatal("technique '", technique, "' not in this sweep");
+}
+
+bool
+identicalMeasurement(const RunResult &a, const RunResult &b)
+{
+    return a.benchmark == b.benchmark && a.technique == b.technique &&
+           a.tech == b.tech && a.stats == b.stats && a.iq == b.iq
+#define X(f) &&a.compile.f == b.compile.f
+               SIQ_COMPILE_STATS_FIELDS(X)
+#undef X
+        ;
+}
+
+} // namespace siq::sim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The experiment engine: a declarative sweep (benchmarks × techniques
+ * × config overrides) fanned out over a worker thread pool, with the
+ * two expensive, technique-independent artifacts cached and shared
+ * read-only across cells:
+ *
+ *  - generated workload programs, keyed by (benchmark, workload
+ *    params) — built once per benchmark no matter how many
+ *    techniques run it;
+ *  - compiled (hint-annotated) programs, keyed by (workload key,
+ *    full compiler configuration) — built once per distinct
+ *    annotation and shared by every cell that asks for it.
+ *
+ * Caches are per-runner and persist across run() calls, so an
+ * ablation binary that runs several sweeps over the same suite pays
+ * workload synthesis once. Both caches build under a shared_future so
+ * concurrent first requests block instead of duplicating work; the
+ * build/hit counters in SweepCacheStats are therefore exact.
+ *
+ * Determinism: results are written into a pre-sized matrix slot per
+ * cell (technique-major, matching the figure harnesses' historical
+ * loop order), so the output order never depends on scheduling, and
+ * each cell's simulation is a pure function of its config — a
+ * threaded sweep is bit-identical to serial runOne calls (wall-clock
+ * metadata aside). See DESIGN.md §6.
+ */
+
+#ifndef SIQ_SIM_SWEEP_HH
+#define SIQ_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace siq::sim
+{
+
+/** Identity of one sweep cell, passed to the per-cell override. */
+struct CellKey
+{
+    std::size_t benchIdx = 0;
+    std::size_t techIdx = 0;
+    std::string benchmark;
+    std::string technique;
+};
+
+/** A declarative experiment matrix. */
+struct SweepSpec
+{
+    /** Workloads to run (workloads::benchmarkNames() order usual). */
+    std::vector<std::string> benchmarks;
+    /** Registry technique names (built-ins or registered variants). */
+    std::vector<std::string> techniques;
+    /** Config every cell starts from (tech field is ignored). */
+    RunConfig base;
+    /**
+     * Optional per-cell override, applied after the base config is
+     * copied. Must be deterministic in the key (it runs on worker
+     * threads, possibly concurrently). Note that overrides changing
+     * workload params or compiler knobs split the caches by design.
+     */
+    std::function<void(RunConfig &, const CellKey &)> perCell;
+    /** Worker threads; 0 defers to the runner's constructor default
+     *  (which in turn defaults to hardware concurrency). */
+    int jobs = 0;
+};
+
+/** Exact cache accounting for one or more run() calls. */
+struct SweepCacheStats
+{
+    std::uint64_t workloadBuilds = 0;
+    std::uint64_t workloadHits = 0;
+    std::uint64_t compileBuilds = 0;
+    std::uint64_t compileHits = 0;
+
+    bool operator==(const SweepCacheStats &) const = default;
+};
+
+/** The completed matrix, in deterministic technique-major order. */
+struct SweepResult
+{
+    std::vector<std::string> benchmarks;
+    std::vector<std::string> techniques;
+    /** cells[t * benchmarks.size() + b]. */
+    std::vector<RunResult> cells;
+    /** Cache counters accumulated by the runner so far. */
+    SweepCacheStats cache;
+    int jobsUsed = 1;
+    double wallSeconds = 0.0;
+
+    const RunResult &
+    at(std::size_t techIdx, std::size_t benchIdx) const
+    {
+        return cells[techIdx * benchmarks.size() + benchIdx];
+    }
+
+    /** Cell for a technique name; fatal when not in the sweep. */
+    const RunResult &at(const std::string &technique,
+                        std::size_t benchIdx) const;
+};
+
+/** Threaded sweep runner with per-runner program caches. */
+class ExperimentRunner
+{
+  public:
+    /** @param jobs default worker count for specs with jobs == 0
+     *  (0 = hardware concurrency). */
+    explicit ExperimentRunner(int jobs = 0);
+    ~ExperimentRunner();
+
+    ExperimentRunner(const ExperimentRunner &) = delete;
+    ExperimentRunner &operator=(const ExperimentRunner &) = delete;
+
+    /** Run the whole matrix; blocks until every cell finished. */
+    SweepResult run(const SweepSpec &spec);
+
+    /** Cache counters accumulated across all run() calls so far. */
+    SweepCacheStats cacheStats() const;
+
+    /**
+     * Deterministic per-cell seed derivation (splitmix64 over the
+     * base seed and the cell coordinates) for specs that want
+     * decorrelated workloads per cell without depending on thread
+     * scheduling.
+     */
+    static std::uint64_t mixSeed(std::uint64_t base, std::uint64_t a,
+                                 std::uint64_t b);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+/**
+ * True when two results carry identical measurements: same cell
+ * identity, bit-identical core stats, IQ events and compile counters.
+ * Wall-clock fields (generateSeconds, compile.seconds) are excluded —
+ * they are the only fields that legitimately differ between a serial
+ * and a cached/threaded run of the same cell.
+ */
+bool identicalMeasurement(const RunResult &a, const RunResult &b);
+
+} // namespace siq::sim
+
+#endif // SIQ_SIM_SWEEP_HH

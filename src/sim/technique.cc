@@ -1,0 +1,221 @@
+#include "sim/technique.hh"
+
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace siq::sim
+{
+
+namespace
+{
+
+/** Shared machine-mirror setup for every compiler scheme. */
+compiler::CompilerConfig
+baseCompilerConfig(const RunConfig &cfg)
+{
+    compiler::CompilerConfig cc;
+    cc.machine.issueWidth = cfg.core.issueWidth;
+    cc.machine.iqSize = cfg.core.iq.numEntries;
+    cc.machine.fuCounts = cfg.core.fuCounts;
+    cc.machine.l1dHitLatency = cfg.core.mem.l1d.hitLatency;
+    cc.minHint = cfg.minHint;
+    cc.elideRedundant = cfg.elideRedundant;
+    cc.unrollFactor = cfg.unrollFactor;
+    return cc;
+}
+
+std::vector<TechniqueDef>
+builtinDefs()
+{
+    std::vector<TechniqueDef> defs;
+
+    defs.push_back({
+        "baseline",
+        Technique::Baseline,
+        "fixed 80-entry IQ, no resizing",
+        nullptr,
+        nullptr,
+    });
+
+    defs.push_back({
+        "noop",
+        Technique::Noop,
+        "compiler hints via special NOOPs (paper §5.2)",
+        [](const RunConfig &cfg) {
+            auto cc = baseCompilerConfig(cfg);
+            cc.scheme = compiler::HintScheme::Noop;
+            return std::optional(cc);
+        },
+        nullptr,
+    });
+
+    defs.push_back({
+        "extension",
+        Technique::Extension,
+        "compiler hints via instruction tags (paper §5.3)",
+        [](const RunConfig &cfg) {
+            auto cc = baseCompilerConfig(cfg);
+            cc.scheme = compiler::HintScheme::Tag;
+            return std::optional(cc);
+        },
+        nullptr,
+    });
+
+    defs.push_back({
+        "improved",
+        Technique::Improved,
+        "Extension + inter-procedural FU analysis (paper §5.3)",
+        [](const RunConfig &cfg) {
+            auto cc = baseCompilerConfig(cfg);
+            cc.scheme = compiler::HintScheme::Tag;
+            cc.interprocFu = true;
+            return std::optional(cc);
+        },
+        nullptr,
+    });
+
+    defs.push_back({
+        "abella",
+        Technique::Abella,
+        "hardware adaptive IqRob64 comparator",
+        nullptr,
+        [](const RunConfig &cfg) -> std::unique_ptr<IqLimitController> {
+            AbellaConfig ac = cfg.abella;
+            ac.iqSize = cfg.core.iq.numEntries;
+            ac.robSize = cfg.core.robSize;
+            return std::make_unique<AbellaResizer>(ac);
+        },
+    });
+
+    defs.push_back({
+        "folegnani",
+        Technique::Folegnani,
+        "hardware adaptive resizer (ablation A4)",
+        nullptr,
+        [](const RunConfig &cfg) -> std::unique_ptr<IqLimitController> {
+            FolegnaniConfig fc = cfg.folegnani;
+            fc.iqSize = cfg.core.iq.numEntries;
+            return std::make_unique<FolegnaniResizer>(fc);
+        },
+    });
+
+    return defs;
+}
+
+} // namespace
+
+struct TechniqueRegistry::Impl
+{
+    mutable std::mutex mu;
+    /** unique_ptr entries so find() results survive vector growth. */
+    std::vector<std::unique_ptr<TechniqueDef>> defs;
+};
+
+TechniqueRegistry::TechniqueRegistry() : impl(std::make_shared<Impl>())
+{
+    for (auto &def : builtinDefs())
+        impl->defs.push_back(
+            std::make_unique<TechniqueDef>(std::move(def)));
+}
+
+TechniqueRegistry &
+TechniqueRegistry::instance()
+{
+    static TechniqueRegistry registry;
+    return registry;
+}
+
+void
+TechniqueRegistry::add(TechniqueDef def)
+{
+    // names flow into CSV cells and JSON strings verbatim: keep them
+    // token-like so the report round-trip guarantee holds
+    if (def.name.empty())
+        fatal("technique name must not be empty");
+    for (char c : def.name) {
+        if (c == ',' || c == '"' || c == '\\' ||
+            static_cast<unsigned char>(c) < 0x20)
+            fatal("technique name '", def.name,
+                  "' contains a character that would break "
+                  "CSV/JSON export");
+    }
+
+    std::lock_guard lock(impl->mu);
+    for (const auto &d : impl->defs) {
+        if (d->name == def.name)
+            fatal("technique '", def.name, "' already registered");
+    }
+    impl->defs.push_back(
+        std::make_unique<TechniqueDef>(std::move(def)));
+}
+
+bool
+TechniqueRegistry::remove(const std::string &name)
+{
+    std::lock_guard lock(impl->mu);
+    for (auto it = impl->defs.begin(); it != impl->defs.end(); ++it) {
+        if ((*it)->name == name) {
+            impl->defs.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+const TechniqueDef *
+TechniqueRegistry::find(const std::string &name) const
+{
+    std::lock_guard lock(impl->mu);
+    for (const auto &d : impl->defs) {
+        if (d->name == name)
+            return d.get();
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+TechniqueRegistry::names() const
+{
+    std::lock_guard lock(impl->mu);
+    std::vector<std::string> out;
+    out.reserve(impl->defs.size());
+    for (const auto &d : impl->defs)
+        out.push_back(d->name);
+    return out;
+}
+
+const TechniqueDef &
+techniqueDef(Technique tech)
+{
+    const TechniqueDef *def =
+        TechniqueRegistry::instance().find(techniqueName(tech));
+    SIQ_ASSERT(def != nullptr, "builtin technique missing from registry");
+    return *def;
+}
+
+const TechniqueDef *
+findTechnique(const std::string &name)
+{
+    return TechniqueRegistry::instance().find(name);
+}
+
+std::optional<Technique>
+techniqueFromName(const std::string &name)
+{
+    // a registry entry whose name is its own family name is a
+    // builtin; variants ("noop-floor8") carry a tag but are not one
+    const TechniqueDef *def = findTechnique(name);
+    if (def != nullptr && techniqueName(def->tag) == name)
+        return def->tag;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+techniqueNames()
+{
+    return TechniqueRegistry::instance().names();
+}
+
+} // namespace siq::sim

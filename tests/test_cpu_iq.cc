@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.hh"
 #include "cpu/iq.hh"
 
 namespace siq
@@ -194,6 +195,113 @@ TEST(IssueQueue, WrapAroundKeepsInvariants)
             iq.markIssued(slots[i]);
         EXPECT_EQ(iq.validCount(), 0);
         EXPECT_EQ(iq.regionSize(), 0);
+    }
+}
+
+/**
+ * Randomized stress for the bank-skipping wakeup/collectReady fast
+ * path: a naive shadow model (full-region walk, the pre-optimization
+ * semantics) must agree with the queue on every event count, ready
+ * bit and selection candidate across thousands of mixed operations.
+ */
+TEST(IssueQueue, FastPathMatchesNaiveReference)
+{
+    struct ShadowEntry
+    {
+        int robIdx;
+        int psrc1, psrc2;
+        bool ready1, ready2;
+        int slot;
+    };
+
+    IqConfig cfg;
+    cfg.numEntries = 80;
+    cfg.bankSize = 8;
+    IssueQueue iq(cfg);
+    std::vector<ShadowEntry> shadow; // oldest-first valid entries
+
+    Rng rng(2024);
+    std::uint64_t seq = 0;
+    std::uint64_t expectedGated = 0;
+
+    for (int step = 0; step < 20000; step++) {
+        const int action = static_cast<int>(rng.range(0, 9));
+        if (action < 4 && iq.canDispatch()) {
+            const int p1 = rng.chance(0.2)
+                               ? -1
+                               : static_cast<int>(rng.range(0, 30));
+            const int p2 = rng.chance(0.2)
+                               ? -1
+                               : static_cast<int>(rng.range(0, 30));
+            const bool r1 = p1 < 0 || rng.chance(0.4);
+            const bool r2 = p2 < 0 || rng.chance(0.4);
+            const int slot = iq.dispatch(static_cast<int>(seq % 128),
+                                         p1, r1, p2, r2, seq);
+            shadow.push_back({static_cast<int>(seq % 128), p1, p2,
+                              r1 || p1 < 0, r2 || p2 < 0, slot});
+            seq++;
+        } else if (action < 7) {
+            const int tag = static_cast<int>(rng.range(0, 30));
+            for (auto &e : shadow) {
+                if (!e.ready1) {
+                    expectedGated++;
+                    if (e.psrc1 == tag)
+                        e.ready1 = true;
+                }
+                if (!e.ready2) {
+                    expectedGated++;
+                    if (e.psrc2 == tag)
+                        e.ready2 = true;
+                }
+            }
+            iq.wakeup(tag);
+            ASSERT_EQ(iq.events.cmpGated, expectedGated)
+                << "step " << step;
+        } else if (action < 8 && !shadow.empty()) {
+            // issue a random *ready* entry, as the core would
+            std::vector<std::size_t> readyIdx;
+            for (std::size_t i = 0; i < shadow.size(); i++) {
+                if (shadow[i].ready1 && shadow[i].ready2)
+                    readyIdx.push_back(i);
+            }
+            if (!readyIdx.empty()) {
+                const std::size_t pick = static_cast<std::size_t>(
+                    rng.range(0,
+                              static_cast<std::int64_t>(
+                                  readyIdx.size()) -
+                                  1));
+                const std::size_t victim = readyIdx[pick];
+                iq.markIssued(shadow[victim].slot);
+                shadow.erase(shadow.begin() +
+                             static_cast<std::ptrdiff_t>(victim));
+            }
+        } else if (action < 9 && !shadow.empty()) {
+            // remove an arbitrary entry, ready or not (the direct
+            // markIssued/squash path): pending-operand bookkeeping
+            // must survive retiring unready operands
+            const std::size_t victim = static_cast<std::size_t>(
+                rng.range(0,
+                          static_cast<std::int64_t>(shadow.size()) -
+                              1));
+            iq.markIssued(shadow[victim].slot);
+            shadow.erase(shadow.begin() +
+                         static_cast<std::ptrdiff_t>(victim));
+        } else if (rng.chance(0.3)) {
+            iq.applyHint(static_cast<int>(rng.range(1, 80)));
+        }
+
+        std::vector<IssueQueue::Candidate> got;
+        iq.collectReady(got);
+        std::vector<int> want;
+        for (const auto &e : shadow) {
+            if (e.ready1 && e.ready2)
+                want.push_back(e.robIdx);
+        }
+        ASSERT_EQ(got.size(), want.size()) << "step " << step;
+        for (std::size_t i = 0; i < got.size(); i++)
+            ASSERT_EQ(got[i].robIdx, want[i]) << "step " << step;
+        ASSERT_EQ(iq.validCount(),
+                  static_cast<int>(shadow.size()));
     }
 }
 

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the experiment engine: the technique registry, the
+ * threaded sweep runner's determinism (bit-identical to serial
+ * runOne), exact cache accounting, and JSON/CSV round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+#include "sim/technique.hh"
+
+namespace siq
+{
+namespace
+{
+
+using sim::Technique;
+
+const std::vector<std::string> someBenches = {"gzip", "mcf", "vortex"};
+const std::vector<std::string> someTechs = {"baseline", "noop",
+                                            "abella"};
+
+sim::SweepSpec
+smallSpec()
+{
+    sim::SweepSpec spec;
+    spec.benchmarks = someBenches;
+    spec.techniques = someTechs;
+    spec.base.workload.repDivisor = 8;
+    spec.base.warmupInsts = 5000;
+    spec.base.measureInsts = 60000;
+    return spec;
+}
+
+TEST(TechniqueRegistry, BuiltinsAreRegistered)
+{
+    const auto names = sim::techniqueNames();
+    for (const char *name : {"baseline", "noop", "extension",
+                             "improved", "abella", "folegnani"}) {
+        EXPECT_NE(sim::findTechnique(name), nullptr) << name;
+        bool listed = false;
+        for (const auto &n : names)
+            listed = listed || n == name;
+        EXPECT_TRUE(listed) << name;
+    }
+    EXPECT_EQ(sim::findTechnique("no-such-technique"), nullptr);
+}
+
+TEST(TechniqueRegistry, EnumNameRoundTrip)
+{
+    for (auto tech :
+         {Technique::Baseline, Technique::Noop, Technique::Extension,
+          Technique::Improved, Technique::Abella,
+          Technique::Folegnani}) {
+        const auto back =
+            sim::techniqueFromName(sim::techniqueName(tech));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, tech);
+        EXPECT_EQ(sim::techniqueDef(tech).name,
+                  sim::techniqueName(tech));
+    }
+    EXPECT_FALSE(sim::techniqueFromName("nope").has_value());
+}
+
+TEST(TechniqueRegistry, FactoriesMatchLegacyMapping)
+{
+    sim::RunConfig cfg;
+    EXPECT_FALSE(
+        sim::compilerConfigFor(Technique::Baseline, cfg).has_value());
+    const auto noop = sim::compilerConfigFor(Technique::Noop, cfg);
+    ASSERT_TRUE(noop.has_value());
+    EXPECT_EQ(noop->scheme, compiler::HintScheme::Noop);
+    EXPECT_FALSE(noop->interprocFu);
+    const auto improved =
+        sim::compilerConfigFor(Technique::Improved, cfg);
+    ASSERT_TRUE(improved.has_value());
+    EXPECT_EQ(improved->scheme, compiler::HintScheme::Tag);
+    EXPECT_TRUE(improved->interprocFu);
+}
+
+TEST(TechniqueRegistry, ScopedVariantRegistersAndUnregisters)
+{
+    {
+        sim::ScopedTechnique variant({
+            "noop-floor16",
+            Technique::Noop,
+            "noop scheme with a 16-entry hint floor",
+            [](const sim::RunConfig &cfg) {
+                auto cc = *sim::compilerConfigFor(Technique::Noop, cfg);
+                cc.minHint = 16;
+                return std::optional(cc);
+            },
+            nullptr,
+        });
+        ASSERT_NE(sim::findTechnique("noop-floor16"), nullptr);
+
+        sim::RunConfig cfg;
+        cfg.workload.repDivisor = 40;
+        cfg.warmupInsts = 2000;
+        cfg.measureInsts = 20000;
+        const auto r = sim::runOne("gzip", "noop-floor16", cfg);
+        EXPECT_EQ(r.technique, "noop-floor16");
+        EXPECT_EQ(r.tech, Technique::Noop);
+        EXPECT_GT(r.ipc(), 0.0);
+    }
+    EXPECT_EQ(sim::findTechnique("noop-floor16"), nullptr);
+}
+
+TEST(ExperimentRunner, ThreadedIsBitIdenticalToSerial)
+{
+    auto spec = smallSpec();
+    spec.jobs = 4;
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+
+    ASSERT_EQ(sweep.cells.size(), 9u);
+    EXPECT_EQ(sweep.jobsUsed, 4);
+
+    for (std::size_t t = 0; t < spec.techniques.size(); t++) {
+        for (std::size_t b = 0; b < spec.benchmarks.size(); b++) {
+            sim::RunConfig cfg = spec.base;
+            cfg.tech = *sim::techniqueFromName(spec.techniques[t]);
+            const auto serial =
+                sim::runOne(spec.benchmarks[b], cfg);
+            const auto &cell = sweep.at(t, b);
+            EXPECT_EQ(cell.benchmark, spec.benchmarks[b]);
+            EXPECT_EQ(cell.technique, spec.techniques[t]);
+            EXPECT_TRUE(sim::identicalMeasurement(serial, cell))
+                << spec.benchmarks[b] << "/" << spec.techniques[t];
+        }
+    }
+}
+
+TEST(ExperimentRunner, JobsCountDoesNotChangeResults)
+{
+    auto spec = smallSpec();
+    spec.jobs = 1;
+    sim::ExperimentRunner serialRunner;
+    const auto serial = serialRunner.run(spec);
+
+    spec.jobs = 7;
+    sim::ExperimentRunner threadedRunner;
+    const auto threaded = threadedRunner.run(spec);
+
+    ASSERT_EQ(serial.cells.size(), threaded.cells.size());
+    for (std::size_t i = 0; i < serial.cells.size(); i++) {
+        EXPECT_TRUE(sim::identicalMeasurement(serial.cells[i],
+                                              threaded.cells[i]))
+            << "cell " << i;
+    }
+}
+
+TEST(ExperimentRunner, WorkloadsAreBuiltExactlyOnce)
+{
+    auto spec = smallSpec();
+    spec.jobs = 4;
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+
+    // 9 cells over 3 benchmarks: 3 workload builds, 6 shared hits.
+    // Only "noop" compiles, once per benchmark, with no reuse inside
+    // one sweep (each (benchmark, config) pair is requested once).
+    EXPECT_EQ(sweep.cache.workloadBuilds, 3u);
+    EXPECT_EQ(sweep.cache.workloadHits, 6u);
+    EXPECT_EQ(sweep.cache.compileBuilds, 3u);
+    EXPECT_EQ(sweep.cache.compileHits, 0u);
+
+    // a second identical sweep on the same runner is all cache hits
+    const auto again = runner.run(spec);
+    EXPECT_EQ(again.cache.workloadBuilds, 3u);
+    EXPECT_EQ(again.cache.workloadHits, 15u);
+    EXPECT_EQ(again.cache.compileBuilds, 3u);
+    EXPECT_EQ(again.cache.compileHits, 3u);
+    for (std::size_t i = 0; i < sweep.cells.size(); i++) {
+        EXPECT_TRUE(sim::identicalMeasurement(sweep.cells[i],
+                                              again.cells[i]));
+    }
+}
+
+TEST(ExperimentRunner, PerCellOverridesApply)
+{
+    auto spec = smallSpec();
+    spec.benchmarks = {"gzip"};
+    spec.techniques = {"baseline"};
+    spec.perCell = [](sim::RunConfig &cfg, const sim::CellKey &key) {
+        EXPECT_EQ(key.benchmark, "gzip");
+        EXPECT_EQ(key.technique, "baseline");
+        cfg.measureInsts = 30000;
+    };
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+    ASSERT_EQ(sweep.cells.size(), 1u);
+    EXPECT_GE(sweep.cells[0].stats.committed, 29000u);
+    EXPECT_LT(sweep.cells[0].stats.committed, 45000u);
+}
+
+TEST(ExperimentRunner, UnknownTechniqueIsFatal)
+{
+    auto spec = smallSpec();
+    spec.techniques = {"baseline", "definitely-not-registered"};
+    sim::ExperimentRunner runner;
+    EXPECT_THROW(runner.run(spec), FatalError);
+}
+
+TEST(ExperimentRunner, MixSeedIsDeterministicAndSpreads)
+{
+    using Runner = sim::ExperimentRunner;
+    EXPECT_EQ(Runner::mixSeed(1, 2, 3), Runner::mixSeed(1, 2, 3));
+    EXPECT_NE(Runner::mixSeed(1, 2, 3), Runner::mixSeed(1, 3, 2));
+    EXPECT_NE(Runner::mixSeed(1, 2, 3), Runner::mixSeed(2, 2, 3));
+}
+
+class ReportRoundTrip : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto spec = smallSpec();
+        spec.base.workload.repDivisor = 40;
+        spec.base.warmupInsts = 2000;
+        spec.base.measureInsts = 20000;
+        sim::ExperimentRunner runner;
+        sweep = runner.run(spec);
+    }
+
+    static void
+    expectFullyEqual(const sim::SweepResult &a,
+                     const sim::SweepResult &b)
+    {
+        ASSERT_EQ(a.benchmarks, b.benchmarks);
+        ASSERT_EQ(a.techniques, b.techniques);
+        ASSERT_EQ(a.cells.size(), b.cells.size());
+        for (std::size_t i = 0; i < a.cells.size(); i++) {
+            const auto &x = a.cells[i];
+            const auto &y = b.cells[i];
+            EXPECT_TRUE(sim::identicalMeasurement(x, y)) << i;
+            // wall-clock fields round-trip exactly too (%.17g)
+            EXPECT_EQ(x.generateSeconds, y.generateSeconds) << i;
+            EXPECT_EQ(x.compile.seconds, y.compile.seconds) << i;
+        }
+    }
+
+    sim::SweepResult sweep;
+};
+
+TEST_F(ReportRoundTrip, Json)
+{
+    std::stringstream ss;
+    sim::writeJson(ss, sweep);
+    const auto back = sim::readJson(ss);
+    expectFullyEqual(sweep, back);
+    EXPECT_EQ(back.cache, sweep.cache);
+    EXPECT_EQ(back.jobsUsed, sweep.jobsUsed);
+    EXPECT_EQ(back.wallSeconds, sweep.wallSeconds);
+}
+
+TEST_F(ReportRoundTrip, Csv)
+{
+    std::stringstream ss;
+    sim::writeCsv(ss, sweep);
+    const auto back = sim::readCsv(ss);
+    expectFullyEqual(sweep, back);
+}
+
+TEST_F(ReportRoundTrip, PowerCsvHasEveryNonBaselineCell)
+{
+    std::stringstream ss;
+    sim::writePowerCsv(ss, sweep);
+    std::string line;
+    std::size_t rows = 0;
+    ASSERT_TRUE(std::getline(ss, line)); // header
+    while (std::getline(ss, line))
+        rows += line.empty() ? 0 : 1;
+    EXPECT_EQ(rows, sweep.benchmarks.size() *
+                        (sweep.techniques.size() - 1));
+}
+
+TEST_F(ReportRoundTrip, SingleResultJsonParses)
+{
+    const std::string json = sim::toJson(sweep.cells[0]);
+    EXPECT_NE(json.find("\"benchmark\":\"gzip\""), std::string::npos);
+    const auto cmp =
+        sim::comparePower(sweep.at("baseline", 0), sweep.at("noop", 0));
+    const std::string cmpJson = sim::toJson(cmp);
+    EXPECT_NE(cmpJson.find("iqDynamicSaving"), std::string::npos);
+}
+
+} // namespace
+} // namespace siq
