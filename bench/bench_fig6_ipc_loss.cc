@@ -35,5 +35,20 @@ main()
               Table::pct(bench::mean(abellaLoss))});
     t.print(std::cout);
     std::cout << "\npaper: SPECINT 2.2%, abella 3.1%\n";
+
+    if (m.replicated()) {
+        std::cout << "\nreplication (n=" << m.sweep.seeds
+                  << " seeds per cell), IPC mean +/- ci95:\n";
+        for (std::size_t i = 0; i < m.benches.size(); i++) {
+            const auto &base =
+                m.aggAt(sim::Technique::Baseline, i).ipc;
+            const auto &noop = m.aggAt(sim::Technique::Noop, i).ipc;
+            std::cout << "  " << m.benches[i] << ": baseline "
+                      << Table::fmt(base.mean, 3) << " +/- "
+                      << Table::fmt(base.ci95, 3) << ", noop "
+                      << Table::fmt(noop.mean, 3) << " +/- "
+                      << Table::fmt(noop.ci95, 3) << "\n";
+        }
+    }
     return 0;
 }

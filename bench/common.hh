@@ -10,6 +10,9 @@
  *  - SIQSIM_WARMUP / SIQSIM_MEASURE: per-cell instruction budgets,
  *    scaled down from the paper's 100M+100M (see DESIGN.md §5);
  *  - SIQSIM_JOBS: worker threads (0/unset = hardware concurrency);
+ *  - SIQSIM_SEEDS: replicas per cell with decorrelated workload
+ *    seeds; N > 1 grows the exports with mean/stddev/ci95 aggregates
+ *    (unset/1 = single run, byte-identical output — DESIGN.md §7);
  *  - SIQSIM_JSON / SIQSIM_CSV / SIQSIM_POWER_CSV: when set to a path,
  *    the matrix (or its power-savings table) is written there after
  *    the run (see DESIGN.md §6).
@@ -71,6 +74,15 @@ struct Matrix
     {
         return sweep.at(technique, benchIdx);
     }
+
+    /** True when the sweep ran with SIQSIM_SEEDS > 1. */
+    bool replicated() const { return !sweep.aggregates.empty(); }
+
+    const sim::CellAggregate &
+    aggAt(sim::Technique tech, std::size_t benchIdx) const
+    {
+        return sweep.aggAt(sim::techniqueName(tech), benchIdx);
+    }
 };
 
 /** Honour the SIQSIM_JSON / SIQSIM_CSV / SIQSIM_POWER_CSV exports. */
@@ -112,6 +124,11 @@ runSweep(const sim::SweepSpec &spec)
               << " thread(s); workloads built "
               << sweep.cache.workloadBuilds << ", cache hits "
               << sweep.cache.workloadHits << "\n";
+    if (sweep.seeds > 1) {
+        std::cerr << "  replication: " << sweep.seeds
+                  << " decorrelated seeds per cell (mean/ci95 "
+                     "aggregated)\n";
+    }
     exportResults(sweep);
     return sweep;
 }

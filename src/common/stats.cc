@@ -1,11 +1,48 @@
 #include "common/stats.hh"
 
+#include <cmath>
 #include <ostream>
 
 #include "common/logging.hh"
 
 namespace siq::stats
 {
+
+void
+RunningStats::sample(double v)
+{
+    n++;
+    const double delta = v - _mean;
+    _mean += delta / static_cast<double>(n);
+    m2 += delta * (v - _mean);
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::ci95() const
+{
+    return n > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n))
+                 : 0.0;
+}
+
+void
+RunningStats::reset()
+{
+    n = 0;
+    _mean = 0.0;
+    m2 = 0.0;
+}
 
 void
 Distribution::init(double lo_, double hi_, std::size_t buckets)

@@ -58,6 +58,36 @@ class Average
     std::uint64_t _count = 0;
 };
 
+/**
+ * Single-pass mean/variance accumulator (Welford's algorithm): the
+ * aggregation primitive for batch-of-seeds replication. Numerically
+ * stable at any sample count and stores no samples, so the sweep
+ * engine can fold replicas in a fixed order and stay bit-reproducible.
+ */
+class RunningStats
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return _mean; }
+    /** Unbiased sample variance (n-1 denominator); 0 below 2 samples. */
+    double variance() const;
+    /** Sample standard deviation; 0 below 2 samples. */
+    double stddev() const;
+    /**
+     * Half-width of the normal-approximation 95% confidence interval
+     * on the mean (1.96 * stddev / sqrt(n)); 0 below 2 samples.
+     */
+    double ci95() const;
+    void reset();
+
+  private:
+    std::uint64_t n = 0;
+    double _mean = 0.0;
+    double m2 = 0.0; ///< running sum of squared deviations
+};
+
 /** A bucketed histogram over [lo, hi) with fixed-width buckets. */
 class Distribution
 {

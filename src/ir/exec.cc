@@ -7,6 +7,35 @@
 namespace siq
 {
 
+namespace
+{
+
+// Integer ALU ops wrap (two's complement) like real hardware; signed
+// overflow is UB in C++, so route the arithmetic through uint64_t.
+// Several generators rely on wrapping (e.g. mcf's LCG pointer hash).
+std::int64_t
+wrapAdd(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wrapSub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wrapMul(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
+
+} // namespace
+
 ExecContext::ExecContext(const Program &prog_)
     : prog(prog_), proc(prog_.entryProc)
 {
@@ -99,20 +128,24 @@ ExecContext::step()
         setIr(si.dst, si.imm);
         break;
       case Opcode::Add:
-        setIr(si.dst, ir(si.src1) + ir(si.src2));
+        setIr(si.dst, wrapAdd(ir(si.src1), ir(si.src2)));
         break;
       case Opcode::AddImm:
-        setIr(si.dst, ir(si.src1) + si.imm);
+        setIr(si.dst, wrapAdd(ir(si.src1), si.imm));
         break;
       case Opcode::Sub:
-        setIr(si.dst, ir(si.src1) - ir(si.src2));
+        setIr(si.dst, wrapSub(ir(si.src1), ir(si.src2)));
         break;
       case Opcode::Mul:
-        setIr(si.dst, ir(si.src1) * ir(si.src2));
+        setIr(si.dst, wrapMul(ir(si.src1), ir(si.src2)));
         break;
       case Opcode::Div: {
         const std::int64_t d = ir(si.src2);
-        setIr(si.dst, d == 0 ? 0 : ir(si.src1) / d);
+        // d == -1 would overflow on INT64_MIN / -1; negate via the
+        // wrapping path instead
+        setIr(si.dst, d == 0    ? 0
+                      : d == -1 ? wrapSub(0, ir(si.src1))
+                                : ir(si.src1) / d);
         break;
       }
       case Opcode::And:
@@ -149,22 +182,22 @@ ExecContext::step()
         break;
       }
       case Opcode::Load: {
-        res.memAddr = wrap(ir(si.src1) + si.imm);
+        res.memAddr = wrap(wrapAdd(ir(si.src1), si.imm));
         setIr(si.dst, mem[res.memAddr]);
         break;
       }
       case Opcode::Store: {
-        res.memAddr = wrap(ir(si.src1) + si.imm);
+        res.memAddr = wrap(wrapAdd(ir(si.src1), si.imm));
         mem[res.memAddr] = ir(si.src2);
         break;
       }
       case Opcode::FLoad: {
-        res.memAddr = wrap(ir(si.src1) + si.imm);
+        res.memAddr = wrap(wrapAdd(ir(si.src1), si.imm));
         setFr(si.dst, std::bit_cast<double>(mem[res.memAddr]));
         break;
       }
       case Opcode::FStore: {
-        res.memAddr = wrap(ir(si.src1) + si.imm);
+        res.memAddr = wrap(wrapAdd(ir(si.src1), si.imm));
         mem[res.memAddr] = std::bit_cast<std::int64_t>(fr(si.src2));
         break;
       }

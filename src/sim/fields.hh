@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Every counter of the measurement structs, listed once, so the
+ * JSON/CSV writers and readers, the determinism comparison
+ * (identicalMeasurement) and the replication aggregates
+ * (CellAggregate) can never drift apart field-wise.
+ */
+
+#ifndef SIQ_SIM_FIELDS_HH
+#define SIQ_SIM_FIELDS_HH
+
+#define SIQ_CORE_STATS_FIELDS(X)                                         \
+    X(cycles) X(committed) X(fetched) X(dispatched) X(issued)            \
+    X(hintsApplied) X(branchMispredicts) X(frontRedirects)               \
+    X(condBranches) X(dispatchStallRob) X(dispatchStallIqFull)           \
+    X(dispatchStallRange) X(dispatchStallLimit) X(dispatchStallRegs)     \
+    X(dispatchStallLsq) X(loads) X(stores) X(loadForwards)               \
+    X(rfIntReads) X(rfIntWrites) X(rfFpReads) X(rfFpWrites)              \
+    X(rfIntLiveSum) X(rfIntPoweredBankCycles) X(rfIntBankCycles)         \
+    X(rfFpLiveSum) X(rfFpPoweredBankCycles) X(rfFpBankCycles)
+
+#define SIQ_IQ_EVENT_FIELDS(X)                                           \
+    X(broadcasts) X(cmpGated) X(cmpPowered) X(cmpConventional)           \
+    X(dispatchWrites) X(issueReads) X(poweredBankCycles)                 \
+    X(totalBankCycles) X(occupancySum) X(cycles)
+
+#define SIQ_COMPILE_STATS_FIELDS(X)                                      \
+    X(proceduresAnalyzed) X(blocksAnalyzed) X(loopsAnalyzed)             \
+    X(hintNoopsInserted) X(tagsApplied) X(hintsElided)
+
+#endif // SIQ_SIM_FIELDS_HH

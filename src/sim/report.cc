@@ -91,6 +91,17 @@ struct JsonValue
         fatal("report JSON: missing key '", key, "'");
     }
 
+    /** Optional lookup for schema-evolution keys. */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
     std::uint64_t
     asU64() const
     {
@@ -379,6 +390,66 @@ cellFromJson(const JsonValue &v)
     return r;
 }
 
+void
+appendMetricJson(std::ostream &os, const char *name,
+                 const MetricAggregate &m)
+{
+    os << "\"" << name << "\":{\"mean\":" << fmtDouble(m.mean)
+       << ",\"stddev\":" << fmtDouble(m.stddev)
+       << ",\"ci95\":" << fmtDouble(m.ci95) << "}";
+}
+
+void
+appendAggJson(std::ostream &os, const CellAggregate &agg)
+{
+    os << "{\"n\":" << agg.n << ",";
+    appendMetricJson(os, "ipc", agg.ipc);
+    os << ",\"stats\":{";
+    const char *sep = "";
+#define X(f)                                                             \
+    os << sep;                                                           \
+    appendMetricJson(os, #f, agg.stats_##f);                             \
+    sep = ",";
+    SIQ_CORE_STATS_FIELDS(X)
+#undef X
+    os << "},\"iq\":{";
+    sep = "";
+#define X(f)                                                             \
+    os << sep;                                                           \
+    appendMetricJson(os, #f, agg.iq_##f);                                \
+    sep = ",";
+    SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+    os << "}}";
+}
+
+MetricAggregate
+metricFromJson(const JsonValue &v)
+{
+    MetricAggregate m;
+    m.mean = v.at("mean").asDouble();
+    m.stddev = v.at("stddev").asDouble();
+    m.ci95 = v.at("ci95").asDouble();
+    return m;
+}
+
+CellAggregate
+aggFromJson(const JsonValue &v)
+{
+    CellAggregate agg;
+    agg.n = v.at("n").asU64();
+    agg.ipc = metricFromJson(v.at("ipc"));
+    const JsonValue &stats = v.at("stats");
+    const JsonValue &iq = v.at("iq");
+#define X(f) agg.stats_##f = metricFromJson(stats.at(#f));
+    SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) agg.iq_##f = metricFromJson(iq.at(#f));
+    SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+    return agg;
+}
+
 } // namespace
 
 // --------------------------------------------------------------- API
@@ -420,14 +491,31 @@ writeJson(std::ostream &os, const SweepResult &result)
        << ",\"workloadHits\":" << result.cache.workloadHits
        << ",\"compileBuilds\":" << result.cache.compileBuilds
        << ",\"compileHits\":" << result.cache.compileHits
-       << "},\"cells\":[";
+       << "}";
+    // replication block only when aggregates exist, so seeds == 1
+    // output (and the empty matrix) keeps the unreplicated schema and
+    // always reads back
+    if (!result.aggregates.empty())
+        os << ",\"seeds\":" << result.seeds;
+    os << ",\"cells\":[";
     for (std::size_t i = 0; i < result.cells.size(); i++) {
         if (i)
             os << ",";
         os << "\n";
         appendCellJson(os, result.cells[i]);
     }
-    os << "\n]}\n";
+    os << "\n]";
+    if (!result.aggregates.empty()) {
+        os << ",\"aggregates\":[";
+        for (std::size_t i = 0; i < result.aggregates.size(); i++) {
+            if (i)
+                os << ",";
+            os << "\n";
+            appendAggJson(os, result.aggregates[i]);
+        }
+        os << "\n]";
+    }
+    os << "}\n";
 }
 
 SweepResult
@@ -452,6 +540,14 @@ readJson(std::istream &is)
     result.cache.compileHits = cache.at("compileHits").asU64();
     for (const auto &cell : root.at("cells").array)
         result.cells.push_back(cellFromJson(cell));
+    if (const JsonValue *seeds = root.find("seeds")) {
+        result.seeds = static_cast<int>(seeds->asU64());
+        for (const auto &agg : root.at("aggregates").array)
+            result.aggregates.push_back(aggFromJson(agg));
+        if (result.seeds < 2 ||
+            result.aggregates.size() != result.cells.size())
+            fatal("report JSON: aggregates do not match the matrix");
+    }
 
     // SweepResult::at() assumes a complete technique-major matrix;
     // reject filtered, reordered or hand-edited cell arrays (the
@@ -472,6 +568,7 @@ readJson(std::istream &is)
 void
 writeCsv(std::ostream &os, const SweepResult &result)
 {
+    const bool agg = !result.aggregates.empty();
     os << "benchmark,technique,family,generateSeconds,compileSeconds";
 #define X(f) os << ",stats_" #f;
     SIQ_CORE_STATS_FIELDS(X)
@@ -482,8 +579,21 @@ writeCsv(std::ostream &os, const SweepResult &result)
 #define X(f) os << ",compile_" #f;
     SIQ_COMPILE_STATS_FIELDS(X)
 #undef X
+    // aggregate columns only when replicated, so seeds == 1 output is
+    // byte-identical to the unreplicated schema
+    if (agg) {
+        os << ",n,ipc_mean,ipc_stddev,ipc_ci95";
+#define X(f)                                                             \
+    os << ",stats_" #f "_mean,stats_" #f "_stddev,stats_" #f "_ci95";
+        SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) os << ",iq_" #f "_mean,iq_" #f "_stddev,iq_" #f "_ci95";
+        SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+    }
     os << "\n";
-    for (const auto &r : result.cells) {
+    for (std::size_t i = 0; i < result.cells.size(); i++) {
+        const RunResult &r = result.cells[i];
         os << r.benchmark << ',' << r.technique << ','
            << techniqueName(r.tech) << ','
            << fmtDouble(r.generateSeconds) << ','
@@ -497,6 +607,21 @@ writeCsv(std::ostream &os, const SweepResult &result)
 #define X(f) os << ',' << r.compile.f;
         SIQ_COMPILE_STATS_FIELDS(X)
 #undef X
+        if (agg) {
+            const CellAggregate &a = result.aggregates[i];
+            auto metric = [&os](const MetricAggregate &m) {
+                os << ',' << fmtDouble(m.mean) << ','
+                   << fmtDouble(m.stddev) << ',' << fmtDouble(m.ci95);
+            };
+            os << ',' << a.n;
+            metric(a.ipc);
+#define X(f) metric(a.stats_##f);
+            SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) metric(a.iq_##f);
+            SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+        }
         os << "\n";
     }
 }
@@ -532,6 +657,8 @@ readCsv(std::istream &is)
             fatal("report CSV: missing column '", name, "'");
         return it->second;
     };
+
+    const bool agg = col.find("n") != col.end();
 
     SweepResult result;
     while (std::getline(is, line)) {
@@ -569,6 +696,29 @@ readCsv(std::istream &is)
 #undef X
         result.cells.push_back(std::move(r));
 
+        if (agg) {
+            CellAggregate a;
+            auto metric = [&](const std::string &base) {
+                MetricAggregate m;
+                m.mean = dbl(base + "_mean");
+                m.stddev = dbl(base + "_stddev");
+                m.ci95 = dbl(base + "_ci95");
+                return m;
+            };
+            a.n = u64("n");
+            a.ipc = metric("ipc");
+#define X(f) a.stats_##f = metric("stats_" #f);
+            SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) a.iq_##f = metric("iq_" #f);
+            SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+            if (!result.aggregates.empty() &&
+                result.aggregates.front().n != a.n)
+                fatal("report CSV: inconsistent replica count n");
+            result.aggregates.push_back(a);
+        }
+
         const auto &added = result.cells.back();
         bool haveBench = false;
         for (const auto &b : result.benchmarks)
@@ -581,6 +731,9 @@ readCsv(std::istream &is)
         if (!haveTech)
             result.techniques.push_back(added.technique);
     }
+
+    if (!result.aggregates.empty())
+        result.seeds = static_cast<int>(result.aggregates.front().n);
 
     // SweepResult::at() assumes a complete technique-major matrix;
     // reject filtered, reordered or hand-edited row sets

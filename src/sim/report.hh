@@ -16,29 +16,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "sim/fields.hh"
 #include "sim/sweep.hh"
-
-// Every counter of the measurement structs, listed once, so the
-// JSON/CSV writers and readers and the determinism comparison
-// (identicalMeasurement) can never drift apart field-wise.
-#define SIQ_CORE_STATS_FIELDS(X)                                         \
-    X(cycles) X(committed) X(fetched) X(dispatched) X(issued)            \
-    X(hintsApplied) X(branchMispredicts) X(frontRedirects)               \
-    X(condBranches) X(dispatchStallRob) X(dispatchStallIqFull)           \
-    X(dispatchStallRange) X(dispatchStallLimit) X(dispatchStallRegs)     \
-    X(dispatchStallLsq) X(loads) X(stores) X(loadForwards)               \
-    X(rfIntReads) X(rfIntWrites) X(rfFpReads) X(rfFpWrites)              \
-    X(rfIntLiveSum) X(rfIntPoweredBankCycles) X(rfIntBankCycles)         \
-    X(rfFpLiveSum) X(rfFpPoweredBankCycles) X(rfFpBankCycles)
-
-#define SIQ_IQ_EVENT_FIELDS(X)                                           \
-    X(broadcasts) X(cmpGated) X(cmpPowered) X(cmpConventional)           \
-    X(dispatchWrites) X(issueReads) X(poweredBankCycles)                 \
-    X(totalBankCycles) X(occupancySum) X(cycles)
-
-#define SIQ_COMPILE_STATS_FIELDS(X)                                      \
-    X(proceduresAnalyzed) X(blocksAnalyzed) X(loopsAnalyzed)             \
-    X(hintNoopsInserted) X(tagsApplied) X(hintsElided)
 
 namespace siq::sim
 {
@@ -52,7 +31,10 @@ std::string toJson(const RunResult &result);
 /** Serialize the savings of one technique run vs its baseline. */
 std::string toJson(const PowerComparison &cmp);
 
-/** Serialize a whole sweep matrix. */
+/** Serialize a whole sweep matrix. Replicated sweeps (seeds > 1)
+ *  additionally carry "seeds" and a per-cell "aggregates" array
+ *  (n/mean/stddev/ci95 per metric); seeds == 1 output is
+ *  byte-identical to the unreplicated schema. */
 void writeJson(std::ostream &os, const SweepResult &result);
 
 /** Parse writeJson output back into a SweepResult (cache counters
@@ -64,7 +46,10 @@ SweepResult readJson(std::istream &is);
 /// @name CSV.
 /// @{
 
-/** One row per cell, every counter a column; header row first. */
+/** One row per cell, every counter a column; header row first.
+ *  Replicated sweeps grow an `n` column plus `<metric>_mean`,
+ *  `<metric>_stddev` and `<metric>_ci95` columns per metric;
+ *  seeds == 1 output keeps the unreplicated column set. */
 void writeCsv(std::ostream &os, const SweepResult &result);
 
 /** Parse writeCsv output. The benchmark/technique axes are rebuilt

@@ -1,8 +1,11 @@
 #include "sim/sweep.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <limits>
 #include <future>
 #include <mutex>
 #include <sstream>
@@ -11,6 +14,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "sim/report.hh"
 #include "sim/technique.hh"
 
@@ -116,6 +120,60 @@ class ProgramCache
     std::unordered_map<std::string, std::shared_future<CachedProgram>>
         map;
 };
+
+/** SIQSIM_SEEDS for specs that defer (seeds == 0); default 1. */
+int
+seedsFromEnv()
+{
+    const char *v = std::getenv("SIQSIM_SEEDS");
+    if (v == nullptr)
+        return 1;
+    char *end = nullptr;
+    errno = 0;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || n < 1 ||
+        n > std::numeric_limits<int>::max())
+        fatal("SIQSIM_SEEDS must be a positive integer, got '", v, "'");
+    return static_cast<int>(n);
+}
+
+MetricAggregate
+summarize(const stats::RunningStats &w)
+{
+    return {w.mean(), w.stddev(), w.ci95()};
+}
+
+/**
+ * Fold one cell's replicas (contiguous, replica order) into per-metric
+ * aggregates. Runs after the worker pool joins and visits replicas in
+ * index order, so the aggregate never depends on scheduling.
+ */
+CellAggregate
+aggregateReplicas(const RunResult *reps, std::size_t n)
+{
+    CellAggregate agg;
+    agg.n = n;
+    stats::RunningStats w;
+#define X(f)                                                             \
+    w.reset();                                                           \
+    for (std::size_t r = 0; r < n; r++)                                  \
+        w.sample(static_cast<double>(reps[r].stats.f));                  \
+    agg.stats_##f = summarize(w);
+    SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f)                                                             \
+    w.reset();                                                           \
+    for (std::size_t r = 0; r < n; r++)                                  \
+        w.sample(static_cast<double>(reps[r].iq.f));                     \
+    agg.iq_##f = summarize(w);
+    SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+    w.reset();
+    for (std::size_t r = 0; r < n; r++)
+        w.sample(reps[r].ipc());
+    agg.ipc = summarize(w);
+    return agg;
+}
 
 } // namespace
 
@@ -232,36 +290,47 @@ ExperimentRunner::run(const SweepSpec &spec)
     const std::size_t nb = spec.benchmarks.size();
     const std::size_t nt = spec.techniques.size();
     const std::size_t ncells = nb * nt;
-    result.cells.resize(ncells);
+    if (spec.seeds < 0)
+        fatal("SweepSpec::seeds must be >= 0, got ", spec.seeds);
+    const int seeds = spec.seeds > 0 ? spec.seeds : seedsFromEnv();
+    result.seeds = seeds;
     if (ncells == 0) {
         result.cache = cacheStats();
         return result;
     }
+
+    // one task per (cell, replica); replicas of a cell are contiguous
+    // so post-join aggregation reads them in replica order
+    const std::size_t nreps = static_cast<std::size_t>(seeds);
+    const std::size_t ntasks = ncells * nreps;
+    std::vector<RunResult> replicas(ntasks);
 
     int jobs = spec.jobs != 0 ? spec.jobs : impl->defaultJobs;
     if (jobs <= 0)
         jobs = static_cast<int>(std::thread::hardware_concurrency());
     if (jobs <= 0)
         jobs = 1;
-    if (static_cast<std::size_t>(jobs) > ncells)
-        jobs = static_cast<int>(ncells);
+    if (static_cast<std::size_t>(jobs) > ntasks)
+        jobs = static_cast<int>(ntasks);
 
-    std::atomic<std::size_t> nextCell{0};
+    std::atomic<std::size_t> nextTask{0};
     std::mutex errorMu;
     std::exception_ptr firstError;
 
     auto work = [&] {
-        for (std::size_t i = nextCell.fetch_add(1); i < ncells;
-             i = nextCell.fetch_add(1)) {
+        for (std::size_t j = nextTask.fetch_add(1); j < ntasks;
+             j = nextTask.fetch_add(1)) {
             {
                 std::lock_guard lock(errorMu);
                 if (firstError)
-                    return; // abandon remaining cells
+                    return; // abandon remaining tasks
             }
             try {
+                const std::size_t i = j / nreps;
                 CellKey key;
                 key.techIdx = i / nb;
                 key.benchIdx = i % nb;
+                key.rep = j % nreps;
                 key.benchmark = spec.benchmarks[key.benchIdx];
                 key.technique = spec.techniques[key.techIdx];
 
@@ -269,8 +338,15 @@ ExperimentRunner::run(const SweepSpec &spec)
                 cfg.tech = defs[key.techIdx]->tag;
                 if (spec.perCell)
                     spec.perCell(cfg, key);
+                // decorrelate replicas after the override, so
+                // per-cell seed choices replicate too; replica 0
+                // keeps the configured seed (seeds=1 == status quo)
+                if (key.rep > 0) {
+                    cfg.workload.seed = mixSeed(cfg.workload.seed,
+                                                key.rep, 0);
+                }
 
-                result.cells[i] =
+                replicas[j] =
                     impl->runCell(key, *defs[key.techIdx], cfg);
             } catch (...) {
                 std::lock_guard lock(errorMu);
@@ -293,6 +369,18 @@ ExperimentRunner::run(const SweepSpec &spec)
     if (firstError)
         std::rethrow_exception(firstError);
 
+    if (nreps == 1) {
+        result.cells = std::move(replicas);
+    } else {
+        result.aggregates.resize(ncells);
+        result.cells.resize(ncells);
+        for (std::size_t i = 0; i < ncells; i++) {
+            result.aggregates[i] =
+                aggregateReplicas(&replicas[i * nreps], nreps);
+            result.cells[i] = std::move(replicas[i * nreps]);
+        }
+    }
+
     result.jobsUsed = jobs;
     result.cache = cacheStats();
     result.wallSeconds =
@@ -309,6 +397,25 @@ SweepResult::at(const std::string &technique,
     for (std::size_t t = 0; t < techniques.size(); t++) {
         if (techniques[t] == technique)
             return at(t, benchIdx);
+    }
+    fatal("technique '", technique, "' not in this sweep");
+}
+
+const CellAggregate &
+SweepResult::aggAt(std::size_t techIdx, std::size_t benchIdx) const
+{
+    if (aggregates.empty())
+        fatal("sweep was not replicated (seeds == 1): no aggregates");
+    return aggregates[techIdx * benchmarks.size() + benchIdx];
+}
+
+const CellAggregate &
+SweepResult::aggAt(const std::string &technique,
+                   std::size_t benchIdx) const
+{
+    for (std::size_t t = 0; t < techniques.size(); t++) {
+        if (techniques[t] == technique)
+            return aggAt(t, benchIdx);
     }
     fatal("technique '", technique, "' not in this sweep");
 }

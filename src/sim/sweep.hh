@@ -24,6 +24,13 @@
  * each cell's simulation is a pure function of its config — a
  * threaded sweep is bit-identical to serial runOne calls (wall-clock
  * metadata aside). See DESIGN.md §6.
+ *
+ * Replication: SweepSpec::seeds = N runs every cell N times with
+ * decorrelated workload seeds (mixSeed over the replica index) and
+ * aggregates each metric into mean / stddev / 95% CI (CellAggregate,
+ * built on common/stats RunningStats). Replica 0 keeps the configured
+ * seed, so the result cells of a replicated sweep are bit-identical
+ * to an unreplicated one. See DESIGN.md §7.
  */
 
 #ifndef SIQ_SIM_SWEEP_HH
@@ -35,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fields.hh"
 #include "sim/simulator.hh"
 
 namespace siq::sim
@@ -45,6 +53,11 @@ struct CellKey
 {
     std::size_t benchIdx = 0;
     std::size_t techIdx = 0;
+    /** Replica index, 0 .. seeds-1 (0 when unreplicated). The
+     *  override sees it for labelling only; workload-seed mixing
+     *  happens after the override so per-cell seed choices still get
+     *  decorrelated replicas. */
+    std::size_t rep = 0;
     std::string benchmark;
     std::string technique;
 };
@@ -68,6 +81,17 @@ struct SweepSpec
     /** Worker threads; 0 defers to the runner's constructor default
      *  (which in turn defaults to hardware concurrency). */
     int jobs = 0;
+    /**
+     * Replicas per cell. Each cell runs this many times: replica 0
+     * with the configured workload seed, replica r > 0 with
+     * mixSeed(seed, r, 0). Replica seeds depend only on the replica
+     * index, so a given replica sees the same workload program under
+     * every technique (paired comparisons, one workload cache entry
+     * shared across techniques). 1 = no replication (current
+     * behaviour, bit-identical); 0 defers to the SIQSIM_SEEDS
+     * environment variable (default 1).
+     */
+    int seeds = 0;
 };
 
 /** Exact cache accounting for one or more run() calls. */
@@ -81,17 +105,56 @@ struct SweepCacheStats
     bool operator==(const SweepCacheStats &) const = default;
 };
 
+/** Mean / sample stddev / normal-approximation 95% CI half-width of
+ *  one metric over a cell's replicas (common/stats RunningStats). */
+struct MetricAggregate
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double ci95 = 0.0;
+
+    bool operator==(const MetricAggregate &) const = default;
+};
+
+/**
+ * Replication aggregate of one sweep cell: every core/IQ counter plus
+ * the derived IPC, each summarized over the cell's n replicas in
+ * replica order (so the aggregate is a deterministic function of the
+ * replica results, independent of thread scheduling). Compile
+ * counters are not aggregated — they are a property of each replica's
+ * program, not a noisy measurement.
+ */
+struct CellAggregate
+{
+    std::uint64_t n = 0; ///< replicas folded in
+#define X(f) MetricAggregate stats_##f;
+    SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f) MetricAggregate iq_##f;
+    SIQ_IQ_EVENT_FIELDS(X)
+#undef X
+    MetricAggregate ipc;
+
+    bool operator==(const CellAggregate &) const = default;
+};
+
 /** The completed matrix, in deterministic technique-major order. */
 struct SweepResult
 {
     std::vector<std::string> benchmarks;
     std::vector<std::string> techniques;
-    /** cells[t * benchmarks.size() + b]. */
+    /** cells[t * benchmarks.size() + b]. Always the replica-0 run
+     *  (the configured seed), so a replicated sweep's cells match an
+     *  unreplicated sweep bit-for-bit. */
     std::vector<RunResult> cells;
     /** Cache counters accumulated by the runner so far. */
     SweepCacheStats cache;
     int jobsUsed = 1;
     double wallSeconds = 0.0;
+    /** Replicas aggregated per cell (1 = no replication). */
+    int seeds = 1;
+    /** Per-cell aggregates, parallel to cells; empty when seeds == 1. */
+    std::vector<CellAggregate> aggregates;
 
     const RunResult &
     at(std::size_t techIdx, std::size_t benchIdx) const
@@ -102,6 +165,16 @@ struct SweepResult
     /** Cell for a technique name; fatal when not in the sweep. */
     const RunResult &at(const std::string &technique,
                         std::size_t benchIdx) const;
+
+    /** Aggregate by matrix position; fatal when the sweep was not
+     *  replicated (seeds == 1 keeps aggregates empty). */
+    const CellAggregate &aggAt(std::size_t techIdx,
+                               std::size_t benchIdx) const;
+
+    /** Aggregate for a technique name; fatal when not in the sweep
+     *  or when the sweep was not replicated. */
+    const CellAggregate &aggAt(const std::string &technique,
+                               std::size_t benchIdx) const;
 };
 
 /** Threaded sweep runner with per-runner program caches. */

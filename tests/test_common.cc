@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -34,6 +36,85 @@ TEST(Stats, AverageMean)
     a.sample(4.0);
     EXPECT_DOUBLE_EQ(a.mean(), 3.0);
     EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(RunningStats, EmptyAccumulatorIsAllZero)
+{
+    stats::RunningStats w;
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(w.ci95(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroSpread)
+{
+    stats::RunningStats w;
+    w.sample(42.5);
+    EXPECT_EQ(w.count(), 1u);
+    EXPECT_DOUBLE_EQ(w.mean(), 42.5);
+    EXPECT_DOUBLE_EQ(w.variance(), 0.0)
+        << "sample variance is undefined at n=1; report 0";
+    EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(w.ci95(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedFormValues)
+{
+    // {1..5}: mean 3, sample variance 2.5, ci95 = 1.96*sqrt(2.5/5)
+    stats::RunningStats w;
+    for (int i = 1; i <= 5; i++)
+        w.sample(i);
+    EXPECT_EQ(w.count(), 5u);
+    EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+    EXPECT_NEAR(w.variance(), 2.5, 1e-12);
+    EXPECT_NEAR(w.stddev(), std::sqrt(2.5), 1e-12);
+    EXPECT_NEAR(w.ci95(), 1.96 * std::sqrt(2.5 / 5.0), 1e-12);
+}
+
+TEST(RunningStats, ConstantSamplesHaveZeroVariance)
+{
+    stats::RunningStats w;
+    for (int i = 0; i < 100; i++)
+        w.sample(7.25);
+    EXPECT_DOUBLE_EQ(w.mean(), 7.25);
+    EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(w.ci95(), 0.0);
+}
+
+TEST(RunningStats, AgreesWithNaiveTwoPassOnRandomData)
+{
+    Rng rng(321);
+    std::vector<double> xs;
+    stats::RunningStats w;
+    for (int i = 0; i < 1000; i++) {
+        const double v = rng.uniform() * 1e6 - 5e5;
+        xs.push_back(v);
+        w.sample(v);
+    }
+    double sum = 0.0;
+    for (double v : xs)
+        sum += v;
+    const double mean = sum / static_cast<double>(xs.size());
+    double sq = 0.0;
+    for (double v : xs)
+        sq += (v - mean) * (v - mean);
+    const double var = sq / static_cast<double>(xs.size() - 1);
+    EXPECT_NEAR(w.mean(), mean, 1e-6);
+    EXPECT_NEAR(w.variance(), var, 1e-3 * var);
+}
+
+TEST(RunningStats, ResetClearsState)
+{
+    stats::RunningStats w;
+    w.sample(1.0);
+    w.sample(2.0);
+    w.reset();
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+    w.sample(9.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 9.0);
 }
 
 TEST(Stats, DistributionBucketsAndFraction)

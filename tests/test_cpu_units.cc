@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
 #include "cpu/bpred.hh"
 #include "cpu/lsq.hh"
 #include "cpu/regfile.hh"
@@ -129,6 +135,97 @@ TEST(RegFile, ExhaustionDetected)
     EXPECT_FALSE(rf.hasFree());
 }
 
+/**
+ * Randomized shadow-model stress for the register file, mirroring the
+ * IQ fast-path test in test_cpu_iq.cc: a naive reference (map table
+ * as an array, free list as an ordered set, bank liveness recounted
+ * from scratch) must agree with the RegFile on every observable —
+ * mapping, readiness, live count, powered banks — across thousands of
+ * randomized rename/writeback/commit operations.
+ */
+TEST(RegFile, RandomizedShadowModelAgrees)
+{
+    const RegFileConfig cfg{48, 32, 8}; // 6 banks, 16 rename headroom
+    RegFile rf(cfg);
+
+    std::vector<int> map(static_cast<std::size_t>(cfg.numArch));
+    std::iota(map.begin(), map.end(), 0);
+    std::set<int> freeSet;
+    for (int p = cfg.numArch; p < cfg.numPhys; p++)
+        freeSet.insert(p);
+    std::vector<bool> ready(static_cast<std::size_t>(cfg.numPhys),
+                            false);
+    for (int a = 0; a < cfg.numArch; a++)
+        ready[static_cast<std::size_t>(a)] = true;
+    // previous mappings awaiting release at their redefiner's commit
+    std::vector<int> pendingRelease;
+
+    Rng rng(4242);
+    for (int step = 0; step < 20000; step++) {
+        const int action = static_cast<int>(rng.range(0, 9));
+        if (action < 4 && !freeSet.empty()) {
+            const int arch = static_cast<int>(
+                rng.range(0, cfg.numArch - 1));
+            const auto [fresh, old] = rf.rename(arch);
+            ASSERT_EQ(fresh, *freeSet.begin())
+                << "min-heap free list must pack the lowest bank";
+            ASSERT_EQ(old, map[static_cast<std::size_t>(arch)]);
+            freeSet.erase(freeSet.begin());
+            map[static_cast<std::size_t>(arch)] = fresh;
+            ready[static_cast<std::size_t>(fresh)] = false;
+            pendingRelease.push_back(old);
+        } else if (action < 6 && !pendingRelease.empty()) {
+            // commit a random redefiner: its old mapping dies
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.range(0,
+                          static_cast<std::int64_t>(
+                              pendingRelease.size()) -
+                              1));
+            const int phys = pendingRelease[pick];
+            pendingRelease.erase(
+                pendingRelease.begin() +
+                static_cast<std::ptrdiff_t>(pick));
+            rf.release(phys);
+            freeSet.insert(phys);
+            ready[static_cast<std::size_t>(phys)] = false;
+        } else if (action < 8) {
+            // writeback: the current mapping's value arrives
+            const int arch = static_cast<int>(
+                rng.range(0, cfg.numArch - 1));
+            const int phys = map[static_cast<std::size_t>(arch)];
+            rf.setReady(phys);
+            ready[static_cast<std::size_t>(phys)] = true;
+        }
+
+        const int live = cfg.numPhys -
+                         static_cast<int>(freeSet.size());
+        ASSERT_EQ(rf.liveRegs(), live) << "step " << step;
+        ASSERT_EQ(rf.hasFree(), !freeSet.empty()) << "step " << step;
+
+        // recount powered banks from scratch: a bank is live when
+        // any non-free register lives in it
+        std::vector<int> bankLive(
+            static_cast<std::size_t>(rf.numBanks()), 0);
+        for (int p = 0; p < cfg.numPhys; p++) {
+            if (freeSet.find(p) == freeSet.end())
+                bankLive[static_cast<std::size_t>(
+                    p / cfg.bankSize)]++;
+        }
+        int powered = 0;
+        for (int n : bankLive)
+            powered += n > 0 ? 1 : 0;
+        ASSERT_EQ(rf.poweredBanks(), powered) << "step " << step;
+
+        for (int a = 0; a < cfg.numArch; a++) {
+            const int phys = map[static_cast<std::size_t>(a)];
+            ASSERT_EQ(rf.lookup(a), phys) << "step " << step;
+            ASSERT_EQ(rf.isReady(phys),
+                      ready[static_cast<std::size_t>(phys)])
+                << "step " << step << " arch " << a;
+        }
+    }
+}
+
 TEST(Lsq, LoadBlockedByIncompleteOlderStoreSameAddress)
 {
     Lsq lsq(LsqConfig{8});
@@ -176,6 +273,90 @@ TEST(Lsq, ReleaseInCommitOrderAndWrap)
         EXPECT_EQ(lsq.size(), 0);
     }
     EXPECT_FALSE(lsq.full());
+}
+
+/**
+ * Randomized shadow-model stress for the LSQ: a naive program-order
+ * reference must agree on loadBlocked/loadForwards (walk all older
+ * entries, youngest matching store decides) and on the size/full
+ * observables, across randomized allocate/issue/complete/commit
+ * streams with heavy address aliasing.
+ */
+TEST(Lsq, RandomizedShadowModelAgrees)
+{
+    struct ShadowEntry
+    {
+        bool isStore;
+        std::uint64_t addr;
+        bool completed = false;
+        int idx; ///< the Lsq's entry index
+    };
+
+    const LsqConfig cfg{16};
+    Lsq lsq(cfg);
+    std::deque<ShadowEntry> shadow; // oldest (head) first
+
+    Rng rng(9090);
+    for (int step = 0; step < 30000; step++) {
+        const int action = static_cast<int>(rng.range(0, 9));
+        if (action < 4 && !lsq.full()) {
+            const bool isStore = rng.chance(0.4);
+            // 8 addresses only, to force constant aliasing
+            const auto addr =
+                static_cast<std::uint64_t>(rng.range(0, 7));
+            const int idx = lsq.allocate(isStore, addr, step);
+            shadow.push_back({isStore, addr, false, idx});
+        } else if (action < 7 && !shadow.empty()) {
+            // drive a random entry one step through issue/complete
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.range(0,
+                          static_cast<std::int64_t>(shadow.size()) -
+                              1));
+            auto &e = shadow[pick];
+            if (!e.completed && rng.chance(0.5)) {
+                lsq.markIssued(e.idx);
+            } else if (!e.completed) {
+                lsq.markIssued(e.idx);
+                lsq.markCompleted(e.idx);
+                e.completed = true;
+            }
+        } else if (action < 9 && !shadow.empty()) {
+            // commit: release the head entry
+            lsq.releaseHead(shadow.front().idx);
+            shadow.pop_front();
+        }
+
+        ASSERT_EQ(lsq.size(), static_cast<int>(shadow.size()))
+            << "step " << step;
+        ASSERT_EQ(lsq.full(),
+                  static_cast<int>(shadow.size()) == cfg.numEntries)
+            << "step " << step;
+
+        for (std::size_t i = 0; i < shadow.size(); i++) {
+            if (shadow[i].isStore)
+                continue;
+            // blocked: ANY older same-address store not yet complete;
+            // forwards: the YOUNGEST older same-address store exists
+            // and has completed
+            bool blocked = false;
+            bool forwards = false;
+            bool sawMatch = false;
+            for (std::size_t k = i; k-- > 0;) {
+                const auto &older = shadow[k];
+                if (!older.isStore || older.addr != shadow[i].addr)
+                    continue;
+                blocked = blocked || !older.completed;
+                if (!sawMatch) {
+                    sawMatch = true;
+                    forwards = older.completed;
+                }
+            }
+            ASSERT_EQ(lsq.loadBlocked(shadow[i].idx), blocked)
+                << "step " << step << " entry " << i;
+            ASSERT_EQ(lsq.loadForwards(shadow[i].idx), forwards)
+                << "step " << step << " entry " << i;
+        }
+    }
 }
 
 TEST(Cache, HitAfterMiss)

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
+#include "common/stats.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
@@ -34,7 +36,30 @@ smallSpec()
     spec.base.workload.repDivisor = 8;
     spec.base.warmupInsts = 5000;
     spec.base.measureInsts = 60000;
+    spec.seeds = 1; // independent of any ambient SIQSIM_SEEDS
     return spec;
+}
+
+/** Zero the wall-clock metadata so byte-level comparisons only see
+ *  measurements (the one legitimate run-to-run difference). */
+sim::SweepResult
+normalized(sim::SweepResult s)
+{
+    s.jobsUsed = 0;
+    s.wallSeconds = 0.0;
+    for (auto &cell : s.cells) {
+        cell.generateSeconds = 0.0;
+        cell.compile.seconds = 0.0;
+    }
+    return s;
+}
+
+std::string
+jsonOf(const sim::SweepResult &s)
+{
+    std::ostringstream os;
+    sim::writeJson(os, s);
+    return os.str();
 }
 
 TEST(TechniqueRegistry, BuiltinsAreRegistered)
@@ -215,6 +240,125 @@ TEST(ExperimentRunner, MixSeedIsDeterministicAndSpreads)
     EXPECT_NE(Runner::mixSeed(1, 2, 3), Runner::mixSeed(2, 2, 3));
 }
 
+TEST(Replication, ReplicaZeroMatchesUnreplicatedSweep)
+{
+    auto spec = smallSpec();
+    sim::ExperimentRunner plainRunner;
+    const auto plain = plainRunner.run(spec);
+    EXPECT_EQ(plain.seeds, 1);
+    EXPECT_TRUE(plain.aggregates.empty());
+
+    spec.seeds = 3;
+    spec.jobs = 4;
+    sim::ExperimentRunner runner;
+    const auto rep = runner.run(spec);
+    EXPECT_EQ(rep.seeds, 3);
+    ASSERT_EQ(rep.cells.size(), plain.cells.size());
+    ASSERT_EQ(rep.aggregates.size(), rep.cells.size());
+    for (std::size_t i = 0; i < rep.cells.size(); i++) {
+        EXPECT_TRUE(sim::identicalMeasurement(plain.cells[i],
+                                              rep.cells[i]))
+            << "replica 0 must be the configured-seed run, cell " << i;
+        EXPECT_EQ(rep.aggregates[i].n, 3u);
+    }
+}
+
+TEST(Replication, AggregatesMatchSerialRunOneFolds)
+{
+    sim::SweepSpec spec;
+    spec.benchmarks = {"gzip"};
+    spec.techniques = {"baseline", "noop"};
+    spec.base.workload.repDivisor = 40;
+    spec.base.warmupInsts = 2000;
+    spec.base.measureInsts = 20000;
+    spec.seeds = 3;
+    spec.jobs = 4;
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+
+    for (std::size_t t = 0; t < spec.techniques.size(); t++) {
+        stats::RunningStats cycles, ipc, broadcasts;
+        for (std::size_t r = 0; r < 3; r++) {
+            sim::RunConfig cfg = spec.base;
+            cfg.tech = *sim::techniqueFromName(spec.techniques[t]);
+            if (r > 0) {
+                cfg.workload.seed = sim::ExperimentRunner::mixSeed(
+                    cfg.workload.seed, r, 0);
+            }
+            const auto run = sim::runOne("gzip", cfg);
+            cycles.sample(static_cast<double>(run.stats.cycles));
+            broadcasts.sample(static_cast<double>(run.iq.broadcasts));
+            ipc.sample(run.ipc());
+        }
+        const auto &agg = sweep.aggAt(t, 0);
+        // same fold order, same accumulator: bit-exact agreement
+        EXPECT_EQ(agg.stats_cycles.mean, cycles.mean());
+        EXPECT_EQ(agg.stats_cycles.stddev, cycles.stddev());
+        EXPECT_EQ(agg.stats_cycles.ci95, cycles.ci95());
+        EXPECT_EQ(agg.iq_broadcasts.mean, broadcasts.mean());
+        EXPECT_EQ(agg.ipc.mean, ipc.mean());
+        EXPECT_EQ(agg.ipc.ci95, ipc.ci95());
+        EXPECT_GT(agg.stats_cycles.stddev, 0.0)
+            << "decorrelated replicas must actually vary";
+    }
+}
+
+TEST(Replication, ReplicasShareWorkloadsAcrossTechniques)
+{
+    auto spec = smallSpec();
+    spec.seeds = 3;
+    spec.jobs = 4;
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+    // replica seeds depend only on the replica index, so 3 benchmarks
+    // x 3 seeds = 9 distinct workloads, each shared by 3 techniques
+    EXPECT_EQ(sweep.cache.workloadBuilds, 9u);
+    EXPECT_EQ(sweep.cache.workloadHits, 18u);
+    EXPECT_EQ(sweep.cache.compileBuilds, 9u);
+    EXPECT_EQ(sweep.cache.compileHits, 0u);
+}
+
+TEST(Replication, JsonExportByteIdenticalAcrossJobsAtSeeds3)
+{
+    auto spec = smallSpec();
+    spec.seeds = 3;
+
+    spec.jobs = 1;
+    sim::ExperimentRunner serialRunner;
+    const auto serial = serialRunner.run(spec);
+
+    spec.jobs = 4;
+    sim::ExperimentRunner threadedRunner;
+    const auto threaded = threadedRunner.run(spec);
+
+    EXPECT_EQ(jsonOf(normalized(serial)), jsonOf(normalized(threaded)))
+        << "jobs=1 and jobs=4 must export byte-identical JSON";
+}
+
+TEST(Replication, SeedsZeroDefersToEnvironment)
+{
+    auto spec = smallSpec();
+    spec.benchmarks = {"gzip"};
+    spec.techniques = {"baseline"};
+    spec.base.workload.repDivisor = 40;
+    spec.base.warmupInsts = 2000;
+    spec.base.measureInsts = 20000;
+    spec.seeds = 0;
+
+    ASSERT_EQ(setenv("SIQSIM_SEEDS", "2", 1), 0);
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+    ASSERT_EQ(unsetenv("SIQSIM_SEEDS"), 0);
+    EXPECT_EQ(sweep.seeds, 2);
+    ASSERT_EQ(sweep.aggregates.size(), 1u);
+    EXPECT_EQ(sweep.aggregates[0].n, 2u);
+
+    sim::ExperimentRunner plain;
+    const auto unset = plain.run(spec);
+    EXPECT_EQ(unset.seeds, 1);
+    EXPECT_TRUE(unset.aggregates.empty());
+}
+
 class ReportRoundTrip : public ::testing::Test
 {
   protected:
@@ -279,6 +423,81 @@ TEST_F(ReportRoundTrip, PowerCsvHasEveryNonBaselineCell)
         rows += line.empty() ? 0 : 1;
     EXPECT_EQ(rows, sweep.benchmarks.size() *
                         (sweep.techniques.size() - 1));
+}
+
+TEST_F(ReportRoundTrip, LegacySchemaWhenUnreplicated)
+{
+    // seeds == 1 must keep the pre-replication export byte format
+    const std::string json = jsonOf(sweep);
+    EXPECT_EQ(json.find("\"seeds\""), std::string::npos);
+    EXPECT_EQ(json.find("\"aggregates\""), std::string::npos);
+    std::stringstream ss;
+    sim::writeCsv(ss, sweep);
+    std::string header;
+    ASSERT_TRUE(std::getline(ss, header));
+    EXPECT_EQ(header.find(",n"), std::string::npos);
+    EXPECT_EQ(header.find("_ci95"), std::string::npos);
+}
+
+class ReplicatedRoundTrip : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto spec = smallSpec();
+        spec.base.workload.repDivisor = 40;
+        spec.base.warmupInsts = 2000;
+        spec.base.measureInsts = 20000;
+        spec.seeds = 3;
+        sim::ExperimentRunner runner;
+        sweep = runner.run(spec);
+    }
+
+    sim::SweepResult sweep;
+};
+
+TEST_F(ReplicatedRoundTrip, JsonPreservesAggregatesExactly)
+{
+    std::stringstream ss;
+    sim::writeJson(ss, sweep);
+    const auto back = sim::readJson(ss);
+    EXPECT_EQ(back.seeds, 3);
+    ASSERT_EQ(back.aggregates.size(), sweep.aggregates.size());
+    for (std::size_t i = 0; i < sweep.aggregates.size(); i++) {
+        // %.17g doubles round-trip bit-exactly, so default == holds
+        EXPECT_EQ(back.aggregates[i], sweep.aggregates[i])
+            << "cell " << i;
+    }
+    for (std::size_t i = 0; i < sweep.cells.size(); i++) {
+        EXPECT_TRUE(sim::identicalMeasurement(back.cells[i],
+                                              sweep.cells[i]));
+    }
+}
+
+TEST_F(ReplicatedRoundTrip, CsvPreservesAggregatesExactly)
+{
+    std::stringstream ss;
+    sim::writeCsv(ss, sweep);
+    const auto back = sim::readCsv(ss);
+    EXPECT_EQ(back.seeds, 3);
+    ASSERT_EQ(back.aggregates.size(), sweep.aggregates.size());
+    for (std::size_t i = 0; i < sweep.aggregates.size(); i++)
+        EXPECT_EQ(back.aggregates[i], sweep.aggregates[i])
+            << "cell " << i;
+}
+
+TEST_F(ReplicatedRoundTrip, AggregateLookupByTechniqueName)
+{
+    const auto &agg = sweep.aggAt("noop", 1);
+    EXPECT_EQ(agg.n, 3u);
+    EXPECT_GT(agg.ipc.mean, 0.0);
+    EXPECT_THROW(sweep.aggAt("definitely-not-registered", 0),
+                 FatalError);
+    sim::SweepResult unreplicated;
+    unreplicated.techniques = {"baseline"};
+    unreplicated.benchmarks = {"gzip"};
+    EXPECT_THROW(unreplicated.aggAt("baseline", 0), FatalError);
 }
 
 TEST_F(ReportRoundTrip, SingleResultJsonParses)

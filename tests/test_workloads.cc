@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "cpu/core.hh"
 #include "ir/exec.hh"
+#include "isa/opcode.hh"
+#include "sim/sweep.hh"
 #include "workloads/workloads.hh"
 
 namespace siq::workloads
@@ -24,6 +27,62 @@ tiny()
     WorkloadParams wp;
     wp.repDivisor = 40;
     return wp;
+}
+
+/** FNV-1a over every structural field of a program, so two programs
+ *  fingerprint equal iff instructions, CFG shape and the initial
+ *  memory image all match. */
+std::uint64_t
+fingerprint(const Program &prog)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; byte++) {
+            h ^= (v >> (8 * byte)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(prog.procs.size());
+    mix(static_cast<std::uint64_t>(prog.entryProc));
+    mix(prog.memWords);
+    for (const auto &proc : prog.procs) {
+        mix(proc.blocks.size());
+        mix(proc.isLibrary ? 1 : 0);
+        for (const auto &block : proc.blocks) {
+            mix(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(block.fallthrough)));
+            for (int t : block.indirectTargets)
+                mix(static_cast<std::uint64_t>(t));
+            mix(block.insts.size());
+            for (const auto &inst : block.insts) {
+                mix(static_cast<std::uint64_t>(inst.op));
+                mix(static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(inst.dst)));
+                mix(static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(inst.src1)));
+                mix(static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(inst.src2)));
+                mix(static_cast<std::uint64_t>(inst.imm));
+                mix(static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(inst.target)));
+                mix(inst.hintValue);
+            }
+        }
+    }
+    for (const auto &[addr, value] : prog.memInit) {
+        mix(addr);
+        mix(static_cast<std::uint64_t>(value));
+    }
+    return h;
+}
+
+/** The replica seed schedule the sweep engine uses (replica 0 keeps
+ *  the base seed, replica r mixes it). */
+std::uint64_t
+replicaSeed(std::uint64_t base, std::size_t rep)
+{
+    return rep == 0 ? base
+                    : sim::ExperimentRunner::mixSeed(base, rep, 0);
 }
 
 TEST(Workloads, AllElevenNamesGenerate)
@@ -50,6 +109,89 @@ TEST(Workloads, GenerationIsDeterministic)
         ASSERT_EQ(a.memInit.size(), b.memInit.size()) << name;
         for (std::size_t i = 0; i < a.memInit.size(); i += 97)
             EXPECT_EQ(a.memInit[i], b.memInit[i]) << name;
+    }
+}
+
+TEST(WorkloadProperties, FingerprintDeterministicPerSeed)
+{
+    // full structural equality (not just counts) for every generator,
+    // at the base seed and at a mixed replica seed
+    for (const auto &name : benchmarkNames()) {
+        for (std::size_t rep : {std::size_t{0}, std::size_t{2}}) {
+            WorkloadParams wp = tiny();
+            wp.seed = replicaSeed(wp.seed, rep);
+            const std::uint64_t a = fingerprint(generate(name, wp));
+            const std::uint64_t b = fingerprint(generate(name, wp));
+            EXPECT_EQ(a, b) << name << " replica " << rep;
+        }
+    }
+}
+
+TEST(WorkloadProperties, DistinctAcrossMixSeedReplicas)
+{
+    // replicas must be decorrelated: three replica seeds, three
+    // structurally distinct programs, for every generator
+    for (const auto &name : benchmarkNames()) {
+        std::set<std::uint64_t> prints;
+        for (std::size_t rep = 0; rep < 3; rep++) {
+            WorkloadParams wp = tiny();
+            wp.seed = replicaSeed(wp.seed, rep);
+            const Program prog = generate(name, wp);
+            EXPECT_GT(prog.instCount(), 10u)
+                << name << " replica " << rep;
+            prints.insert(fingerprint(prog));
+        }
+        EXPECT_EQ(prints.size(), 3u)
+            << name << " replicas are not decorrelated";
+    }
+}
+
+TEST(WorkloadProperties, RegistersAndOpcodesInValidRanges)
+{
+    for (const auto &name : benchmarkNames()) {
+        WorkloadParams wp = tiny();
+        wp.seed = replicaSeed(wp.seed, 1);
+        const Program prog = generate(name, wp);
+        ASSERT_FALSE(prog.procs.empty()) << name;
+        for (const auto &proc : prog.procs) {
+            ASSERT_FALSE(proc.blocks.empty())
+                << name << " proc " << proc.name;
+            for (const auto &block : proc.blocks) {
+                for (const auto &inst : block.insts) {
+                    ASSERT_LT(static_cast<int>(inst.op), numOpcodes)
+                        << name;
+                    for (int reg : {static_cast<int>(inst.dst),
+                                    static_cast<int>(inst.src1),
+                                    static_cast<int>(inst.src2)}) {
+                        ASSERT_GE(reg, -1) << name;
+                        ASSERT_LT(reg, numArchRegs) << name;
+                    }
+                    const auto &traits = inst.traits();
+                    if (traits.isCall) {
+                        // call targets name a procedure
+                        ASSERT_GE(inst.target, 0) << name;
+                        ASSERT_LT(static_cast<std::size_t>(
+                                      inst.target),
+                                  prog.procs.size())
+                            << name;
+                    } else if ((traits.isBranch || traits.isJump) &&
+                               !traits.isIndirect &&
+                               !traits.isRet) {
+                        // direct branch/jump targets name a block in
+                        // the same procedure
+                        ASSERT_GE(inst.target, 0) << name;
+                        ASSERT_LT(static_cast<std::size_t>(
+                                      inst.target),
+                                  proc.blocks.size())
+                            << name;
+                    }
+                    if (traits.isIndirect && !traits.isRet) {
+                        ASSERT_FALSE(block.indirectTargets.empty())
+                            << name << ": IJump without a jump table";
+                    }
+                }
+            }
+        }
     }
 }
 
