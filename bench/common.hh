@@ -6,16 +6,10 @@
  * programs are synthesized once and shared read-only across cells,
  * and every figure binary can export its matrix machine-readably.
  *
- * Environment knobs:
- *  - SIQSIM_WARMUP / SIQSIM_MEASURE: per-cell instruction budgets,
- *    scaled down from the paper's 100M+100M (see DESIGN.md §5);
- *  - SIQSIM_JOBS: worker threads (0/unset = hardware concurrency);
- *  - SIQSIM_SEEDS: replicas per cell with decorrelated workload
- *    seeds; N > 1 grows the exports with mean/stddev/ci95 aggregates
- *    (unset/1 = single run, byte-identical output — DESIGN.md §7);
- *  - SIQSIM_JSON / SIQSIM_CSV / SIQSIM_POWER_CSV: when set to a path,
- *    the matrix (or its power-savings table) is written there after
- *    the run (see DESIGN.md §6).
+ * Every `SIQSIM_*` environment knob the benches honour — budgets,
+ * jobs, seeds, export paths, and the sharding/checkpoint variables
+ * that route a figure bench through the same distributed path as the
+ * `siqsim` CLI — is documented in one place: docs/ENVIRONMENT.md.
  */
 
 #ifndef SIQ_BENCH_COMMON_HH
@@ -30,6 +24,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/checkpoint.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
@@ -85,6 +80,20 @@ struct Matrix
     }
 };
 
+/** Write one export file; @p what names the source (for messages). */
+inline void
+emitFile(const std::string &path, const char *what,
+         const std::function<void(std::ostream &)> &write)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (os)
+        write(os);
+    os.flush();
+    if (!os)
+        fatal("export to '", path, "' (", what, ") failed");
+    std::cerr << "  wrote " << path << "\n";
+}
+
 /** Honour the SIQSIM_JSON / SIQSIM_CSV / SIQSIM_POWER_CSV exports. */
 inline void
 exportResults(const sim::SweepResult &sweep)
@@ -92,15 +101,8 @@ exportResults(const sim::SweepResult &sweep)
     auto emit = [&](const char *env,
                     const std::function<void(std::ostream &)> &write) {
         const char *path = std::getenv(env);
-        if (path == nullptr)
-            return;
-        std::ofstream os(path, std::ios::trunc);
-        if (os)
-            write(os);
-        os.flush();
-        if (!os)
-            fatal("export to '", path, "' (", env, ") failed");
-        std::cerr << "  wrote " << path << "\n";
+        if (path != nullptr)
+            emitFile(path, env, write);
     };
     emit("SIQSIM_JSON",
          [&](std::ostream &os) { sim::writeJson(os, sweep); });
@@ -110,20 +112,69 @@ exportResults(const sim::SweepResult &sweep)
          [&](std::ostream &os) { sim::writePowerCsv(os, sweep); });
 }
 
-/** Run a sweep through a fresh engine and report engine stats. */
+/**
+ * Run a sweep through a fresh engine and report engine stats.
+ *
+ * Three env vars route a bench through the distributed path shared
+ * with the `siqsim` CLI (docs/ENVIRONMENT.md, DESIGN.md §8):
+ *  - SIQSIM_SPEC_OUT dumps the declarative spec as JSON (so the same
+ *    grid can be re-run, sharded or archived via `siqsim run`);
+ *  - SIQSIM_CKPT runs with per-cell checkpointing and resume in the
+ *    given run directory — kill-safe long-horizon runs;
+ *  - SIQSIM_SHARD ("i/N", needs SIQSIM_CKPT) runs one shard of the
+ *    matrix. While the run directory is still missing cells from
+ *    other shards the process exits(0) after its shard — the shard
+ *    whose checkpoint completes the matrix prints the figure from
+ *    the merged result.
+ */
 inline sim::SweepResult
 runSweep(const sim::SweepSpec &spec)
 {
+    if (const char *path = std::getenv("SIQSIM_SPEC_OUT")) {
+        emitFile(path, "SIQSIM_SPEC_OUT", [&](std::ostream &os) {
+            sim::writeSpecJson(os, spec);
+        });
+    }
+
     sim::ExperimentRunner runner(
         static_cast<int>(envOr("SIQSIM_JOBS", 0)));
     std::cerr << "  sweep: " << spec.benchmarks.size() << " benchmarks x "
               << spec.techniques.size() << " techniques...\n";
-    auto sweep = runner.run(spec);
-    std::cerr << "  " << sweep.cells.size() << " cells in "
-              << sweep.wallSeconds << "s on " << sweep.jobsUsed
-              << " thread(s); workloads built "
-              << sweep.cache.workloadBuilds << ", cache hits "
-              << sweep.cache.workloadHits << "\n";
+
+    sim::SweepResult sweep;
+    const char *ckpt = std::getenv("SIQSIM_CKPT");
+    if (std::getenv("SIQSIM_SHARD") != nullptr && ckpt == nullptr) {
+        fatal("SIQSIM_SHARD runs a partial matrix and needs "
+              "SIQSIM_CKPT to publish it (docs/ENVIRONMENT.md)");
+    }
+    if (ckpt != nullptr) {
+        sim::ShardPlan shard;
+        if (const char *s = std::getenv("SIQSIM_SHARD"))
+            shard = sim::parseShard(s);
+        const auto outcome =
+            sim::runWithCheckpoints(runner, spec, shard, ckpt);
+        std::cerr << "  shard " << sim::toString(shard) << ": owns "
+                  << outcome.cellsOwned << "/" << outcome.cellsTotal
+                  << " cells, resumed " << outcome.cellsResumed
+                  << ", simulated " << outcome.cellsRun << "\n";
+        if (!outcome.complete) {
+            std::cerr << "  run dir '" << ckpt << "' incomplete: run "
+                      << "the remaining shards, then re-run (or "
+                      << "'siqsim merge')\n";
+            std::exit(0);
+        }
+        sweep = outcome.merged;
+        std::cerr << "  " << sweep.cells.size()
+                  << " cells assembled from checkpoints in '" << ckpt
+                  << "'\n";
+    } else {
+        sweep = runner.run(spec);
+        std::cerr << "  " << sweep.cells.size() << " cells in "
+                  << sweep.wallSeconds << "s on " << sweep.jobsUsed
+                  << " thread(s); workloads built "
+                  << sweep.cache.workloadBuilds << ", cache hits "
+                  << sweep.cache.workloadHits << "\n";
+    }
     if (sweep.seeds > 1) {
         std::cerr << "  replication: " << sweep.seeds
                   << " decorrelated seeds per cell (mean/ci95 "

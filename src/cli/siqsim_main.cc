@@ -1,0 +1,420 @@
+/**
+ * @file
+ * `siqsim` — the command-line driver for sharded, resumable
+ * experiment sweeps (DESIGN.md §8, docs/ENVIRONMENT.md):
+ *
+ *   siqsim spec  ...   print a sweep-spec JSON for a grid
+ *   siqsim run   ...   run a spec (whole, or one shard of N, with
+ *                      per-cell checkpointing and resume)
+ *   siqsim merge ...   fold shard checkpoint directories back into
+ *                      the canonical single-file JSON/CSV
+ *   siqsim list        list benchmarks and registered techniques
+ *
+ * `run` and `merge` emit *canonical* exports: scheduling and
+ * wall-clock metadata are zeroed (sim::canonicalize), so the same
+ * spec produces byte-identical files whether it ran on 1 thread or
+ * 16, in one process or N shards, straight through or killed and
+ * resumed. `diff` is the integrity check.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/checkpoint.hh"
+#include "sim/report.hh"
+#include "sim/sweep.hh"
+#include "sim/technique.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace siq;
+namespace fs = std::filesystem;
+
+int
+usage(std::ostream &os, int rc)
+{
+    os << R"(siqsim — sharded, resumable sweep runner (see README.md)
+
+usage:
+  siqsim spec [options]             print a sweep-spec JSON
+  siqsim run --spec FILE [options]  run a spec, whole or one shard
+  siqsim merge DIR... [options]     fold checkpoint dirs into one matrix
+  siqsim list                       list benchmarks and techniques
+
+spec options (grid axes and budgets; all optional):
+  --benchmarks a,b,... | all   workloads to sweep (default: all 11)
+  --techniques a,b,... | all   techniques to sweep (default: all built-ins)
+  --warmup N / --measure N     per-cell instruction budgets
+  --seeds N                    replicas per cell (0 = SIQSIM_SEEDS, 1 = off)
+  --jobs N                     worker threads (0 = SIQSIM_JOBS / cores)
+  --scale N / --rep-divisor N  workload size knobs
+  --seed N                     base workload seed
+  --out FILE                   write the spec there instead of stdout
+
+run options:
+  --spec FILE                  the spec to run (required)
+  --shard i/N                  run only cells with index % N == i
+                               (default $SIQSIM_SHARD; requires --ckpt)
+  --ckpt DIR                   checkpoint run directory: finished cells
+                               are published atomically as they finish,
+                               and already-checkpointed cells are
+                               skipped on restart (default $SIQSIM_CKPT)
+  --jobs N / --seeds N         override the spec's values
+  --json/--csv/--power-csv FILE   canonical exports ('-' = stdout)
+  --baseline NAME              power-CSV baseline technique [baseline]
+
+merge options:
+  DIR...                       checkpoint dirs written by 'run' (one
+                               shared dir, or one per shard)
+  --json/--csv/--power-csv FILE, --baseline NAME   as for run
+
+The merge of N shard directories is byte-identical to the same spec
+run unsharded — both are canonical exports of the same pure function.
+)";
+    return rc;
+}
+
+/** argv cursor: flags may appear in any order after the subcommand. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int start)
+    {
+        for (int i = start; i < argc; i++)
+            tokens.emplace_back(argv[i]);
+    }
+
+    /** Consume `--name VALUE`; nullopt when absent. */
+    std::optional<std::string>
+    option(const std::string &name)
+    {
+        for (std::size_t i = 0; i < tokens.size(); i++) {
+            if (tokens[i] != "--" + name)
+                continue;
+            if (i + 1 >= tokens.size())
+                fatal("siqsim: --", name, " needs a value");
+            std::string value = tokens[i + 1];
+            tokens.erase(tokens.begin() + static_cast<long>(i),
+                         tokens.begin() + static_cast<long>(i) + 2);
+            return value;
+        }
+        return std::nullopt;
+    }
+
+    /** Whatever is left (positional arguments); flags left over are
+     *  an error the caller reports. */
+    const std::vector<std::string> &rest() const { return tokens; }
+
+    void
+    expectConsumed() const
+    {
+        for (const auto &t : tokens) {
+            fatal("siqsim: unrecognized argument '", t,
+                  "' (see siqsim --help)");
+        }
+    }
+
+  private:
+    std::vector<std::string> tokens;
+};
+
+long
+toLong(const std::string &name, const std::string &value)
+{
+    std::size_t end = 0;
+    long v = 0;
+    try {
+        v = std::stol(value, &end);
+    } catch (const std::exception &) {
+        end = 0;
+    }
+    if (end != value.size())
+        fatal("siqsim: --", name, " expects an integer, got '", value,
+              "'");
+    return v;
+}
+
+/** For unsigned config fields: a negative value must not wrap into
+ *  an astronomically large budget or seed. */
+std::uint64_t
+toU64(const std::string &name, const std::string &value)
+{
+    const long v = toLong(name, value);
+    if (v < 0)
+        fatal("siqsim: --", name, " must be >= 0, got '", value, "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : csv) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Write to a file, or stdout for "-"; fatal on IO errors. */
+void
+writeOut(const std::string &path,
+         const std::function<void(std::ostream &)> &write)
+{
+    if (path == "-") {
+        write(std::cout);
+        return;
+    }
+    std::ofstream os(path, std::ios::trunc);
+    if (os)
+        write(os);
+    os.flush();
+    if (!os)
+        fatal("siqsim: cannot write '", path, "'");
+    std::cerr << "wrote " << path << "\n";
+}
+
+/** The canonical exports shared by `run` and `merge`. */
+struct ExportPaths
+{
+    std::optional<std::string> json, csv, powerCsv;
+    std::string baseline = "baseline";
+
+    void
+    take(Args &args)
+    {
+        json = args.option("json");
+        csv = args.option("csv");
+        powerCsv = args.option("power-csv");
+        if (auto b = args.option("baseline"))
+            baseline = *b;
+    }
+
+    void
+    emit(sim::SweepResult result) const
+    {
+        sim::canonicalize(result);
+        if (json) {
+            writeOut(*json, [&](std::ostream &os) {
+                sim::writeJson(os, result);
+            });
+        }
+        if (csv) {
+            writeOut(*csv, [&](std::ostream &os) {
+                sim::writeCsv(os, result);
+            });
+        }
+        if (powerCsv) {
+            writeOut(*powerCsv, [&](std::ostream &os) {
+                sim::writePowerCsv(os, result, baseline);
+            });
+        }
+    }
+};
+
+int
+cmdSpec(Args args)
+{
+    sim::SweepSpec spec;
+    spec.benchmarks = workloads::benchmarkNames();
+    spec.techniques = sim::techniqueNames();
+    if (auto v = args.option("benchmarks"); v && *v != "all")
+        spec.benchmarks = splitList(*v);
+    if (auto v = args.option("techniques"); v && *v != "all")
+        spec.techniques = splitList(*v);
+    for (const auto &t : spec.techniques) {
+        if (sim::findTechnique(t) == nullptr)
+            fatal("siqsim: unknown technique '", t, "' (try 'siqsim "
+                  "list')");
+    }
+    if (auto v = args.option("warmup"))
+        spec.base.warmupInsts = toU64("warmup", *v);
+    if (auto v = args.option("measure"))
+        spec.base.measureInsts = toU64("measure", *v);
+    if (auto v = args.option("seeds"))
+        spec.seeds = static_cast<int>(toLong("seeds", *v));
+    if (auto v = args.option("jobs"))
+        spec.jobs = static_cast<int>(toLong("jobs", *v));
+    if (auto v = args.option("scale"))
+        spec.base.workload.scale = static_cast<int>(toLong("scale", *v));
+    if (auto v = args.option("rep-divisor"))
+        spec.base.workload.repDivisor =
+            static_cast<int>(toLong("rep-divisor", *v));
+    if (auto v = args.option("seed"))
+        spec.base.workload.seed = toU64("seed", *v);
+    const std::string out = args.option("out").value_or("-");
+    args.expectConsumed();
+    writeOut(out, [&](std::ostream &os) {
+        sim::writeSpecJson(os, spec);
+    });
+    return 0;
+}
+
+int
+cmdRun(Args args)
+{
+    const auto specPath = args.option("spec");
+    if (!specPath)
+        fatal("siqsim run: --spec FILE is required");
+    std::ifstream is(*specPath);
+    if (!is)
+        fatal("siqsim run: cannot read '", *specPath, "'");
+    sim::SweepSpec spec = sim::readSpecJson(is);
+
+    if (auto v = args.option("jobs"))
+        spec.jobs = static_cast<int>(toLong("jobs", *v));
+    if (auto v = args.option("seeds"))
+        spec.seeds = static_cast<int>(toLong("seeds", *v));
+
+    auto envOpt = [](const char *name) -> std::optional<std::string> {
+        const char *v = std::getenv(name);
+        if (v == nullptr || *v == '\0')
+            return std::nullopt;
+        return std::string(v);
+    };
+    auto shardText = args.option("shard");
+    if (!shardText)
+        shardText = envOpt("SIQSIM_SHARD");
+    auto ckptDir = args.option("ckpt");
+    if (!ckptDir)
+        ckptDir = envOpt("SIQSIM_CKPT");
+
+    ExportPaths exports;
+    exports.take(args);
+    args.expectConsumed();
+
+    sim::ShardPlan shard;
+    if (shardText)
+        shard = sim::parseShard(*shardText);
+    if (shard.count > 1 && !ckptDir) {
+        fatal("siqsim run: --shard produces a partial matrix and "
+              "needs --ckpt DIR to publish it for 'siqsim merge'");
+    }
+
+    const std::size_t ncells =
+        spec.benchmarks.size() * spec.techniques.size();
+    std::cerr << "siqsim run: " << spec.benchmarks.size()
+              << " benchmarks x " << spec.techniques.size()
+              << " techniques = " << ncells << " cells";
+    if (shard.count > 1)
+        std::cerr << ", shard " << sim::toString(shard);
+    std::cerr << "\n";
+
+    sim::ExperimentRunner runner;
+    if (!ckptDir) {
+        auto result = runner.run(spec);
+        std::cerr << "done: " << result.cells.size() << " cells in "
+                  << result.wallSeconds << "s on " << result.jobsUsed
+                  << " thread(s)\n";
+        exports.emit(std::move(result));
+        return 0;
+    }
+
+    const auto outcome =
+        sim::runWithCheckpoints(runner, spec, shard, *ckptDir);
+    std::cerr << "shard " << sim::toString(shard) << ": owns "
+              << outcome.cellsOwned << "/" << outcome.cellsTotal
+              << " cells, resumed " << outcome.cellsResumed
+              << ", simulated " << outcome.cellsRun << "\n";
+    if (!outcome.complete) {
+        std::cerr << "run directory incomplete: run the remaining "
+                     "shards, then 'siqsim merge "
+                  << *ckptDir << "'\n";
+        if (exports.json || exports.csv || exports.powerCsv) {
+            warn("exports not written: the matrix is still partial "
+                 "(they are emitted by the completing shard or by "
+                 "'siqsim merge')");
+        }
+        return 0;
+    }
+    std::cerr << "all " << outcome.cellsTotal
+              << " cells checkpointed; emitting merged matrix\n";
+    exports.emit(outcome.merged);
+    return 0;
+}
+
+int
+cmdMerge(Args args)
+{
+    ExportPaths exports;
+    exports.take(args);
+    std::vector<fs::path> dirs;
+    for (const auto &t : args.rest()) {
+        if (t.rfind("--", 0) == 0)
+            fatal("siqsim merge: unrecognized option '", t, "'");
+        dirs.emplace_back(t);
+    }
+    if (dirs.empty())
+        fatal("siqsim merge: at least one checkpoint directory is "
+              "required");
+    auto result = sim::mergeCheckpoints(dirs);
+    std::cerr << "merged " << result.cells.size() << " cells from "
+              << dirs.size() << " dir(s)";
+    if (result.seeds > 1)
+        std::cerr << " (" << result.seeds << " seeds per cell)";
+    std::cerr << "\n";
+    if (!exports.json && !exports.csv && !exports.powerCsv)
+        warn("no --json/--csv/--power-csv given: nothing written");
+    exports.emit(std::move(result));
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::cout << "benchmarks:\n";
+    for (const auto &b : workloads::benchmarkNames())
+        std::cout << "  " << b << "\n";
+    std::cout << "techniques:\n";
+    for (const auto &t : sim::techniqueNames()) {
+        const auto *def = sim::findTechnique(t);
+        std::cout << "  " << t << " — "
+                  << (def ? def->summary : std::string()) << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr, 2);
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "--help" || cmd == "-h" || cmd == "help")
+            return usage(std::cout, 0);
+        if (cmd == "spec")
+            return cmdSpec(Args(argc, argv, 2));
+        if (cmd == "run")
+            return cmdRun(Args(argc, argv, 2));
+        if (cmd == "merge")
+            return cmdMerge(Args(argc, argv, 2));
+        if (cmd == "list")
+            return cmdList();
+        std::cerr << "siqsim: unknown command '" << cmd << "'\n\n";
+        return usage(std::cerr, 2);
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

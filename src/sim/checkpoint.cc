@@ -1,0 +1,354 @@
+#include "sim/checkpoint.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace siq::sim
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Benchmark/technique names become filename fragments; anything the
+ *  filesystem might object to collapses to '_'. */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '-' || c == '.';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("checkpoint: cannot read '", path.string(), "'");
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+/** Write-then-rename: the destination either does not exist or holds
+ *  the complete content, never a prefix. Rename atomicity holds
+ *  within one filesystem, which a run directory is. The tmp name is
+ *  unique per process and call so concurrent shards sharing a run
+ *  directory (e.g. both racing to publish spec.json) never tear each
+ *  other's half-written files. */
+void
+atomicWrite(const fs::path &path, const std::string &content)
+{
+    static std::atomic<std::uint64_t> serial{0};
+    std::ostringstream suffix;
+    suffix << ".tmp." << ::getpid() << "."
+           << serial.fetch_add(1, std::memory_order_relaxed);
+    const fs::path tmp = path.string() + suffix.str();
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (os)
+            os << content;
+        os.flush();
+        if (!os)
+            fatal("checkpoint: write to '", tmp.string(), "' failed");
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fatal("checkpoint: rename '", tmp.string(), "' -> '",
+              path.string(), "' failed: ", ec.message());
+    }
+}
+
+fs::path
+cellsDir(const fs::path &dir)
+{
+    return dir / "cells";
+}
+
+fs::path
+specPath(const fs::path &dir)
+{
+    return dir / "spec.json";
+}
+
+std::size_t
+cellCount(const SweepSpec &spec)
+{
+    return spec.benchmarks.size() * spec.techniques.size();
+}
+
+/**
+ * The spec string stored in (and compared against) spec.json. The
+ * worker-thread count is scheduling, not experiment identity — a run
+ * must be resumable with a different --jobs — so it is forced to 0
+ * here. Everything else, seeds included, is identity: different
+ * budgets or replica counts are different experiments.
+ */
+std::string
+specIdentity(const SweepSpec &spec)
+{
+    SweepSpec s = spec;
+    s.jobs = 0;
+    return toJson(s);
+}
+
+} // namespace
+
+ShardPlan
+parseShard(const std::string &text)
+{
+    const auto slash = text.find('/');
+    std::size_t idxEnd = 0;
+    std::size_t cntEnd = 0;
+    ShardPlan plan;
+    try {
+        if (slash == std::string::npos || slash == 0 ||
+            slash + 1 >= text.size())
+            throw std::invalid_argument(text);
+        plan.index = std::stoi(text.substr(0, slash), &idxEnd);
+        const std::string cnt = text.substr(slash + 1);
+        plan.count = std::stoi(cnt, &cntEnd);
+        if (idxEnd != slash || cntEnd != cnt.size())
+            throw std::invalid_argument(text);
+    } catch (const std::exception &) {
+        fatal("shard: expected 'i/N' (e.g. '0/4'), got '", text, "'");
+    }
+    validateShard(plan);
+    return plan;
+}
+
+std::string
+toString(const ShardPlan &plan)
+{
+    std::ostringstream os;
+    os << plan.index << '/' << plan.count;
+    return os.str();
+}
+
+void
+validateShard(const ShardPlan &plan)
+{
+    if (plan.count < 1 || plan.index < 0 || plan.index >= plan.count) {
+        fatal("shard: index must be in [0, count) with count >= 1, "
+              "got ", toString(plan));
+    }
+}
+
+bool
+ownsCell(const ShardPlan &plan, std::size_t cellIdx)
+{
+    return cellIdx % static_cast<std::size_t>(plan.count) ==
+           static_cast<std::size_t>(plan.index);
+}
+
+void
+initRunDir(const fs::path &dir, const SweepSpec &spec)
+{
+    if (cellCount(spec) == 0)
+        fatal("checkpoint: refusing to init a run dir for an empty "
+              "matrix");
+    std::error_code ec;
+    fs::create_directories(cellsDir(dir), ec);
+    if (ec) {
+        fatal("checkpoint: cannot create '", cellsDir(dir).string(),
+              "': ", ec.message());
+    }
+    const std::string current = specIdentity(spec);
+    if (fs::exists(specPath(dir))) {
+        const std::string stored = readFile(specPath(dir));
+        if (stored != current) {
+            fatal("checkpoint: '", specPath(dir).string(),
+                  "' does not match this spec — the directory belongs "
+                  "to a different experiment; use a fresh directory "
+                  "(or delete the old one) instead of mixing grids");
+        }
+        return;
+    }
+    atomicWrite(specPath(dir), current);
+}
+
+std::string
+checkpointFileName(const SweepSpec &spec, std::size_t cellIdx)
+{
+    const std::size_t nb = spec.benchmarks.size();
+    if (nb == 0 || cellIdx >= cellCount(spec))
+        fatal("checkpoint: cell index ", cellIdx,
+              " outside the spec's matrix");
+    char idx[24];
+    std::snprintf(idx, sizeof(idx), "%05zu", cellIdx);
+    return std::string("cell_") + idx + "_" +
+           sanitize(spec.techniques[cellIdx / nb]) + "_" +
+           sanitize(spec.benchmarks[cellIdx % nb]) + ".json";
+}
+
+void
+writeCellCheckpoint(const fs::path &dir, const SweepSpec &spec,
+                    const CellCheckpoint &ckpt)
+{
+    atomicWrite(cellsDir(dir) / checkpointFileName(spec, ckpt.index),
+                toJson(ckpt));
+}
+
+std::vector<bool>
+scanCheckpoints(const fs::path &dir, const SweepSpec &spec)
+{
+    const std::size_t ncells = cellCount(spec);
+    std::vector<bool> have(ncells, false);
+    for (std::size_t i = 0; i < ncells; i++)
+        have[i] = fs::exists(cellsDir(dir) / checkpointFileName(spec, i));
+    return have;
+}
+
+SweepResult
+mergeCheckpoints(const std::vector<fs::path> &dirs)
+{
+    if (dirs.empty())
+        fatal("merge: no checkpoint directories given");
+
+    const std::string specText = readFile(specPath(dirs[0]));
+    for (std::size_t d = 1; d < dirs.size(); d++) {
+        if (readFile(specPath(dirs[d])) != specText) {
+            fatal("merge: '", specPath(dirs[d]).string(),
+                  "' differs from '", specPath(dirs[0]).string(),
+                  "' — shards of one run must share one spec");
+        }
+    }
+    std::istringstream specIs(specText);
+    const SweepSpec spec = readSpecJson(specIs);
+    const std::size_t ncells = cellCount(spec);
+
+    SweepResult result;
+    result.benchmarks = spec.benchmarks;
+    result.techniques = spec.techniques;
+    result.cells.resize(ncells);
+    result.jobsUsed = 0;
+    result.wallSeconds = 0.0;
+
+    // duplicate cells (overlapping directories) must agree on every
+    // measurement; wall-clock fields may differ between the runs that
+    // produced them, so the comparison is semantic, not byte-level.
+    // The first directory in argument order wins, making the merge
+    // output a deterministic function of its inputs.
+    std::vector<fs::path> sources(ncells);
+    std::vector<std::size_t> missing;
+    std::vector<bool> have(ncells, false);
+    int seeds = 0;
+    for (std::size_t i = 0; i < ncells; i++) {
+        const std::string name = checkpointFileName(spec, i);
+        for (const auto &dir : dirs) {
+            const fs::path path = cellsDir(dir) / name;
+            if (!fs::exists(path))
+                continue;
+            CellCheckpoint ckpt = cellCheckpointFromJson(readFile(path));
+            if (ckpt.index != i) {
+                fatal("merge: '", path.string(), "' carries index ",
+                      ckpt.index, ", expected ", i);
+            }
+            if (have[i]) {
+                const bool same =
+                    ckpt.seeds == seeds &&
+                    identicalMeasurement(ckpt.cell, result.cells[i]) &&
+                    (ckpt.seeds == 1 ||
+                     ckpt.aggregate == result.aggregates[i]);
+                if (!same) {
+                    fatal("merge: conflicting checkpoints for cell ",
+                          i, ": '", sources[i].string(), "' vs '",
+                          path.string(), "'");
+                }
+                continue;
+            }
+            if (seeds == 0) {
+                seeds = ckpt.seeds;
+            } else if (ckpt.seeds != seeds) {
+                fatal("merge: cell ", i, " ran with seeds=",
+                      ckpt.seeds, " but earlier cells ran with seeds=",
+                      seeds,
+                      " — shards must agree on the replica count");
+            }
+            if (ckpt.seeds > 1) {
+                if (result.aggregates.empty())
+                    result.aggregates.resize(ncells);
+                result.aggregates[i] = ckpt.aggregate;
+            }
+            result.cells[i] = std::move(ckpt.cell);
+            sources[i] = path;
+            have[i] = true;
+        }
+        if (!have[i])
+            missing.push_back(i);
+    }
+    if (!missing.empty()) {
+        std::ostringstream os;
+        for (std::size_t k = 0; k < missing.size() && k < 8; k++)
+            os << (k ? ", " : "") << missing[k];
+        fatal("merge: ", missing.size(), " of ", ncells,
+              " cells have no checkpoint (first missing: ", os.str(),
+              ") — run the remaining shards before merging");
+    }
+    result.seeds = seeds;
+    return result;
+}
+
+ShardRunOutcome
+runWithCheckpoints(ExperimentRunner &runner, const SweepSpec &spec,
+                   const ShardPlan &shard, const fs::path &dir)
+{
+    validateShard(shard);
+    initRunDir(dir, spec);
+
+    ShardRunOutcome outcome;
+    outcome.cellsTotal = cellCount(spec);
+    const std::vector<bool> have = scanCheckpoints(dir, spec);
+    for (std::size_t i = 0; i < have.size(); i++) {
+        if (!ownsCell(shard, i))
+            continue;
+        outcome.cellsOwned++;
+        if (have[i])
+            outcome.cellsResumed++;
+    }
+
+    std::atomic<std::size_t> ran{0};
+    CellHooks hooks;
+    hooks.shouldRun = [&](std::size_t i) {
+        return ownsCell(shard, i) && !have[i];
+    };
+    hooks.onCellDone = [&](std::size_t i, const CellKey &,
+                           const RunResult &rep0,
+                           const CellAggregate *agg) {
+        CellCheckpoint ckpt;
+        ckpt.index = i;
+        ckpt.seeds = agg ? static_cast<int>(agg->n) : 1;
+        ckpt.cell = rep0;
+        if (agg)
+            ckpt.aggregate = *agg;
+        writeCellCheckpoint(dir, spec, ckpt);
+        ran.fetch_add(1, std::memory_order_relaxed);
+    };
+    runner.run(spec, hooks);
+    outcome.cellsRun = ran.load();
+
+    const std::vector<bool> after = scanCheckpoints(dir, spec);
+    outcome.complete = true;
+    for (bool h : after)
+        outcome.complete = outcome.complete && h;
+    if (outcome.complete)
+        outcome.merged = mergeCheckpoints({dir});
+    return outcome;
+}
+
+} // namespace siq::sim

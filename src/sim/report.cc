@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -38,6 +39,20 @@ parseU64(const std::string &token)
     char *end = nullptr;
     errno = 0;
     const std::uint64_t v = std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size() || errno == ERANGE)
+        fatal("report: malformed integer '", token, "'");
+    return v;
+}
+
+/** strtoll with whole-token validation (config ints may be signed). */
+std::int64_t
+parseI64(const std::string &token)
+{
+    if (token.empty())
+        fatal("report: malformed integer '", token, "'");
+    char *end = nullptr;
+    errno = 0;
+    const std::int64_t v = std::strtoll(token.c_str(), &end, 10);
     if (end != token.c_str() + token.size() || errno == ERANGE)
         fatal("report: malformed integer '", token, "'");
     return v;
@@ -116,6 +131,26 @@ struct JsonValue
         if (kind != Kind::Number)
             fatal("report JSON: expected number");
         return parseDouble(token);
+    }
+
+    int
+    asInt() const
+    {
+        if (kind != Kind::Number)
+            fatal("report JSON: expected number");
+        const std::int64_t v = parseI64(token);
+        if (v < std::numeric_limits<int>::min() ||
+            v > std::numeric_limits<int>::max())
+            fatal("report JSON: integer out of range: ", token);
+        return static_cast<int>(v);
+    }
+
+    bool
+    asBool() const
+    {
+        if (kind != Kind::Bool)
+            fatal("report JSON: expected boolean");
+        return boolean;
     }
 
     const std::string &
@@ -748,6 +783,283 @@ readCsv(std::istream &is)
                   "matrix order (row ", i + 2, ")");
     }
     return result;
+}
+
+namespace
+{
+
+// -------------------------------------------------- spec (de)serial
+
+void
+appendCacheConfigJson(std::ostream &os, const CacheConfig &c)
+{
+    os << "{\"name\":" << quote(c.name) << ",\"sizeBytes\":"
+       << c.sizeBytes << ",\"assoc\":" << c.assoc << ",\"lineBytes\":"
+       << c.lineBytes << ",\"hitLatency\":" << c.hitLatency << "}";
+}
+
+CacheConfig
+cacheConfigFromJson(const JsonValue &v)
+{
+    CacheConfig c;
+    c.name = v.at("name").asString();
+    c.sizeBytes = static_cast<std::uint32_t>(v.at("sizeBytes").asU64());
+    c.assoc = static_cast<std::uint32_t>(v.at("assoc").asU64());
+    c.lineBytes = static_cast<std::uint32_t>(v.at("lineBytes").asU64());
+    c.hitLatency = v.at("hitLatency").asInt();
+    return c;
+}
+
+void
+appendRegFileConfigJson(std::ostream &os, const RegFileConfig &c)
+{
+    os << "{\"numPhys\":" << c.numPhys << ",\"numArch\":" << c.numArch
+       << ",\"bankSize\":" << c.bankSize << "}";
+}
+
+RegFileConfig
+regFileConfigFromJson(const JsonValue &v)
+{
+    RegFileConfig c;
+    c.numPhys = v.at("numPhys").asInt();
+    c.numArch = v.at("numArch").asInt();
+    c.bankSize = v.at("bankSize").asInt();
+    return c;
+}
+
+void
+appendCoreConfigJson(std::ostream &os, const CoreConfig &c)
+{
+    os << "{\"fetchWidth\":" << c.fetchWidth
+       << ",\"dispatchWidth\":" << c.dispatchWidth
+       << ",\"issueWidth\":" << c.issueWidth
+       << ",\"commitWidth\":" << c.commitWidth
+       << ",\"decodeDepth\":" << c.decodeDepth
+       << ",\"fetchQueueSize\":" << c.fetchQueueSize
+       << ",\"robSize\":" << c.robSize
+       << ",\"iq\":{\"numEntries\":" << c.iq.numEntries
+       << ",\"bankSize\":" << c.iq.bankSize << "}"
+       << ",\"lsq\":{\"numEntries\":" << c.lsq.numEntries << "}"
+       << ",\"intRegs\":";
+    appendRegFileConfigJson(os, c.intRegs);
+    os << ",\"fpRegs\":";
+    appendRegFileConfigJson(os, c.fpRegs);
+    os << ",\"fuCounts\":[";
+    for (std::size_t i = 0; i < c.fuCounts.size(); i++)
+        os << (i ? "," : "") << c.fuCounts[i];
+    os << "],\"bpred\":{\"gshareEntries\":" << c.bpred.gshareEntries
+       << ",\"bimodalEntries\":" << c.bpred.bimodalEntries
+       << ",\"selectorEntries\":" << c.bpred.selectorEntries
+       << ",\"btbEntries\":" << c.bpred.btbEntries
+       << ",\"btbAssoc\":" << c.bpred.btbAssoc
+       << ",\"rasEntries\":" << c.bpred.rasEntries << "}"
+       << ",\"mem\":{\"l1i\":";
+    appendCacheConfigJson(os, c.mem.l1i);
+    os << ",\"l1d\":";
+    appendCacheConfigJson(os, c.mem.l1d);
+    os << ",\"l2\":";
+    appendCacheConfigJson(os, c.mem.l2);
+    os << ",\"memLatency\":" << c.mem.memLatency << "}}";
+}
+
+CoreConfig
+coreConfigFromJson(const JsonValue &v)
+{
+    CoreConfig c;
+    c.fetchWidth = v.at("fetchWidth").asInt();
+    c.dispatchWidth = v.at("dispatchWidth").asInt();
+    c.issueWidth = v.at("issueWidth").asInt();
+    c.commitWidth = v.at("commitWidth").asInt();
+    c.decodeDepth = v.at("decodeDepth").asInt();
+    c.fetchQueueSize = v.at("fetchQueueSize").asInt();
+    c.robSize = v.at("robSize").asInt();
+    c.iq.numEntries = v.at("iq").at("numEntries").asInt();
+    c.iq.bankSize = v.at("iq").at("bankSize").asInt();
+    c.lsq.numEntries = v.at("lsq").at("numEntries").asInt();
+    c.intRegs = regFileConfigFromJson(v.at("intRegs"));
+    c.fpRegs = regFileConfigFromJson(v.at("fpRegs"));
+    const JsonValue &fu = v.at("fuCounts");
+    if (fu.array.size() != c.fuCounts.size())
+        fatal("spec JSON: fuCounts must have ", c.fuCounts.size(),
+              " entries, got ", fu.array.size());
+    for (std::size_t i = 0; i < c.fuCounts.size(); i++)
+        c.fuCounts[i] = fu.array[i].asInt();
+    const JsonValue &bp = v.at("bpred");
+    c.bpred.gshareEntries =
+        static_cast<std::uint32_t>(bp.at("gshareEntries").asU64());
+    c.bpred.bimodalEntries =
+        static_cast<std::uint32_t>(bp.at("bimodalEntries").asU64());
+    c.bpred.selectorEntries =
+        static_cast<std::uint32_t>(bp.at("selectorEntries").asU64());
+    c.bpred.btbEntries =
+        static_cast<std::uint32_t>(bp.at("btbEntries").asU64());
+    c.bpred.btbAssoc =
+        static_cast<std::uint32_t>(bp.at("btbAssoc").asU64());
+    c.bpred.rasEntries =
+        static_cast<std::uint32_t>(bp.at("rasEntries").asU64());
+    const JsonValue &mem = v.at("mem");
+    c.mem.l1i = cacheConfigFromJson(mem.at("l1i"));
+    c.mem.l1d = cacheConfigFromJson(mem.at("l1d"));
+    c.mem.l2 = cacheConfigFromJson(mem.at("l2"));
+    c.mem.memLatency = mem.at("memLatency").asInt();
+    return c;
+}
+
+void
+appendRunConfigJson(std::ostream &os, const RunConfig &cfg)
+{
+    os << "{\"workload\":{\"scale\":" << cfg.workload.scale
+       << ",\"repDivisor\":" << cfg.workload.repDivisor
+       << ",\"seed\":" << cfg.workload.seed << "}"
+       << ",\"warmupInsts\":" << cfg.warmupInsts
+       << ",\"measureInsts\":" << cfg.measureInsts
+       << ",\"minHint\":" << cfg.minHint
+       << ",\"elideRedundant\":"
+       << (cfg.elideRedundant ? "true" : "false")
+       << ",\"unrollFactor\":" << cfg.unrollFactor << ",\"core\":";
+    appendCoreConfigJson(os, cfg.core);
+    os << ",\"abella\":{\"iqSize\":" << cfg.abella.iqSize
+       << ",\"robSize\":" << cfg.abella.robSize
+       << ",\"portion\":" << cfg.abella.portion
+       << ",\"minIq\":" << cfg.abella.minIq
+       << ",\"robFloor\":" << cfg.abella.robFloor
+       << ",\"intervalCycles\":" << cfg.abella.intervalCycles
+       << ",\"slackPortions\":" << cfg.abella.slackPortions
+       << ",\"stallFractionToGrow\":"
+       << fmtDouble(cfg.abella.stallFractionToGrow) << "}"
+       << ",\"folegnani\":{\"iqSize\":" << cfg.folegnani.iqSize
+       << ",\"portion\":" << cfg.folegnani.portion
+       << ",\"minSize\":" << cfg.folegnani.minSize
+       << ",\"intervalCycles\":" << cfg.folegnani.intervalCycles
+       << ",\"contributionThreshold\":"
+       << cfg.folegnani.contributionThreshold
+       << ",\"expandPeriod\":" << cfg.folegnani.expandPeriod << "}}";
+}
+
+RunConfig
+runConfigFromJson(const JsonValue &v)
+{
+    RunConfig cfg;
+    const JsonValue &w = v.at("workload");
+    cfg.workload.scale = w.at("scale").asInt();
+    cfg.workload.repDivisor = w.at("repDivisor").asInt();
+    cfg.workload.seed = w.at("seed").asU64();
+    cfg.warmupInsts = v.at("warmupInsts").asU64();
+    cfg.measureInsts = v.at("measureInsts").asU64();
+    cfg.minHint = v.at("minHint").asInt();
+    cfg.elideRedundant = v.at("elideRedundant").asBool();
+    cfg.unrollFactor = v.at("unrollFactor").asInt();
+    cfg.core = coreConfigFromJson(v.at("core"));
+    const JsonValue &ab = v.at("abella");
+    cfg.abella.iqSize = ab.at("iqSize").asInt();
+    cfg.abella.robSize = ab.at("robSize").asInt();
+    cfg.abella.portion = ab.at("portion").asInt();
+    cfg.abella.minIq = ab.at("minIq").asInt();
+    cfg.abella.robFloor = ab.at("robFloor").asInt();
+    cfg.abella.intervalCycles = ab.at("intervalCycles").asU64();
+    cfg.abella.slackPortions = ab.at("slackPortions").asInt();
+    cfg.abella.stallFractionToGrow =
+        ab.at("stallFractionToGrow").asDouble();
+    const JsonValue &fo = v.at("folegnani");
+    cfg.folegnani.iqSize = fo.at("iqSize").asInt();
+    cfg.folegnani.portion = fo.at("portion").asInt();
+    cfg.folegnani.minSize = fo.at("minSize").asInt();
+    cfg.folegnani.intervalCycles = fo.at("intervalCycles").asU64();
+    cfg.folegnani.contributionThreshold =
+        fo.at("contributionThreshold").asU64();
+    cfg.folegnani.expandPeriod = fo.at("expandPeriod").asInt();
+    return cfg;
+}
+
+} // namespace
+
+void
+writeSpecJson(std::ostream &os, const SweepSpec &spec)
+{
+    os << "{\"benchmarks\":[";
+    for (std::size_t i = 0; i < spec.benchmarks.size(); i++)
+        os << (i ? "," : "") << quote(spec.benchmarks[i]);
+    os << "],\"techniques\":[";
+    for (std::size_t i = 0; i < spec.techniques.size(); i++)
+        os << (i ? "," : "") << quote(spec.techniques[i]);
+    os << "],\"jobs\":" << spec.jobs << ",\"seeds\":" << spec.seeds
+       << ",\n\"base\":";
+    appendRunConfigJson(os, spec.base);
+    os << "}\n";
+}
+
+std::string
+toJson(const SweepSpec &spec)
+{
+    std::ostringstream os;
+    writeSpecJson(os, spec);
+    return os.str();
+}
+
+SweepSpec
+readSpecJson(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const JsonValue root = JsonParser(buf.str()).parse();
+
+    SweepSpec spec;
+    for (const auto &b : root.at("benchmarks").array)
+        spec.benchmarks.push_back(b.asString());
+    for (const auto &t : root.at("techniques").array)
+        spec.techniques.push_back(t.asString());
+    spec.jobs = root.at("jobs").asInt();
+    spec.seeds = root.at("seeds").asInt();
+    if (spec.seeds < 0)
+        fatal("spec JSON: seeds must be >= 0, got ", spec.seeds);
+    spec.base = runConfigFromJson(root.at("base"));
+    for (const auto &t : spec.techniques) {
+        if (findTechnique(t) == nullptr)
+            fatal("spec JSON: unknown technique '", t, "'");
+    }
+    return spec;
+}
+
+std::string
+toJson(const CellCheckpoint &ckpt)
+{
+    std::ostringstream os;
+    os << "{\"index\":" << ckpt.index << ",\"seeds\":" << ckpt.seeds
+       << ",\"cell\":";
+    appendCellJson(os, ckpt.cell);
+    if (ckpt.seeds > 1) {
+        os << ",\"aggregate\":";
+        appendAggJson(os, ckpt.aggregate);
+    }
+    os << "}\n";
+    return os.str();
+}
+
+CellCheckpoint
+cellCheckpointFromJson(const std::string &text)
+{
+    const JsonValue root = JsonParser(text).parse();
+    CellCheckpoint ckpt;
+    ckpt.index = static_cast<std::size_t>(root.at("index").asU64());
+    ckpt.seeds = root.at("seeds").asInt();
+    if (ckpt.seeds < 1)
+        fatal("checkpoint JSON: seeds must be >= 1, got ", ckpt.seeds);
+    ckpt.cell = cellFromJson(root.at("cell"));
+    if (ckpt.seeds > 1)
+        ckpt.aggregate = aggFromJson(root.at("aggregate"));
+    return ckpt;
+}
+
+void
+canonicalize(SweepResult &result)
+{
+    result.jobsUsed = 0;
+    result.wallSeconds = 0.0;
+    result.cache = SweepCacheStats{};
+    for (auto &cell : result.cells) {
+        cell.generateSeconds = 0.0;
+        cell.compile.seconds = 0.0;
+    }
 }
 
 void

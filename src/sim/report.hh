@@ -1,13 +1,15 @@
 /**
  * @file
- * Structured result export for the experiment engine: JSON and CSV
- * emitters (and matching readers) for RunResult matrices and the
- * paper's PowerComparison savings, so figure data can leave the
- * process machine-readably instead of only as ASCII tables.
+ * Structured (de)serialization for the experiment engine: JSON and
+ * CSV emitters (and matching readers) for RunResult matrices, the
+ * paper's PowerComparison savings, declarative SweepSpec grids, and
+ * per-cell checkpoint payloads — so figure data, experiment specs
+ * and partial-run state can all leave the process machine-readably.
  *
  * Round-trip guarantee: integer counters are emitted verbatim and
  * doubles with 17 significant digits, so writeJson → readJson (and
- * writeCsv → readCsv) reproduces every measurement bit-exactly.
+ * writeCsv → readCsv, writeSpecJson → readSpecJson) reproduces every
+ * field bit-exactly.
  */
 
 #ifndef SIQ_SIM_REPORT_HH
@@ -67,6 +69,71 @@ void writePowerCsv(std::ostream &os, const SweepResult &result,
                    const power::RfPowerParams &rfParams = {});
 
 /// @}
+
+/// @name Sweep specifications.
+/// @{
+
+/**
+ * Serialize a declarative SweepSpec: the grid axes (benchmarks ×
+ * techniques), jobs, seeds, and the full base RunConfig — workload
+ * parameters, instruction budgets, compiler knobs, the complete core
+ * machine configuration (IQ/LSQ/register files/FUs/branch predictor/
+ * memory hierarchy), and both adaptive-comparator configs.
+ *
+ * Two fields do not serialize, by design: `base.tech` (sweeps ignore
+ * it — the technique axis decides what runs) and the `perCell`
+ * override (a function; specs that need per-cell overrides are bound
+ * to the binary that defines them, see DESIGN.md §8.1).
+ */
+void writeSpecJson(std::ostream &os, const SweepSpec &spec);
+
+/** writeSpecJson into a string (the canonical spec identity used to
+ *  verify resume/merge compatibility — DESIGN.md §8.2). */
+std::string toJson(const SweepSpec &spec);
+
+/** Parse writeSpecJson output. Every serialized field round-trips
+ *  bit-exactly; `perCell` comes back null. Fatal on malformed
+ *  input or unknown technique names. */
+SweepSpec readSpecJson(std::istream &is);
+
+/// @}
+
+/// @name Per-cell checkpoints.
+/// @{
+
+/**
+ * The payload of one checkpoint file: a finished cell identified by
+ * its stable technique-major index, its replica-0 result, and — for
+ * replicated sweeps — its replica aggregate (DESIGN.md §8.2).
+ */
+struct CellCheckpoint
+{
+    /** Technique-major cell index within the spec's matrix. */
+    std::size_t index = 0;
+    /** Replicas this cell ran (1 = unreplicated, no aggregate). */
+    int seeds = 1;
+    RunResult cell;
+    /** Only meaningful when seeds > 1. */
+    CellAggregate aggregate;
+};
+
+/** Serialize one checkpoint payload (a single JSON object). */
+std::string toJson(const CellCheckpoint &ckpt);
+
+/** Parse toJson(CellCheckpoint) output; fatal on malformed input. */
+CellCheckpoint cellCheckpointFromJson(const std::string &text);
+
+/// @}
+
+/**
+ * Zero every scheduling / wall-clock / cache-accounting field of a
+ * result (jobsUsed, wallSeconds, cache counters, per-cell
+ * generateSeconds and compile.seconds), leaving only measurements.
+ * Two runs of the same spec — serial or threaded, sharded or not,
+ * resumed or not — canonicalize to byte-identical exports; this is
+ * the form `siqsim run` and `siqsim merge` emit (DESIGN.md §8.3).
+ */
+void canonicalize(SweepResult &result);
 
 } // namespace siq::sim
 

@@ -270,6 +270,12 @@ ExperimentRunner::mixSeed(std::uint64_t base, std::uint64_t a,
 SweepResult
 ExperimentRunner::run(const SweepSpec &spec)
 {
+    return run(spec, CellHooks{});
+}
+
+SweepResult
+ExperimentRunner::run(const SweepSpec &spec, const CellHooks &hooks)
+{
     const auto t0 = std::chrono::steady_clock::now();
 
     SweepResult result;
@@ -294,16 +300,43 @@ ExperimentRunner::run(const SweepSpec &spec)
         fatal("SweepSpec::seeds must be >= 0, got ", spec.seeds);
     const int seeds = spec.seeds > 0 ? spec.seeds : seedsFromEnv();
     result.seeds = seeds;
-    if (ncells == 0) {
+
+    // the cells this invocation actually executes (all of them for a
+    // plain run; a shard / resume passes a filter). The filter is
+    // consulted once per cell, in stable index order, so a partition
+    // over the cell index is deterministic no matter the job count.
+    std::vector<std::size_t> cellsToRun;
+    cellsToRun.reserve(ncells);
+    for (std::size_t i = 0; i < ncells; i++) {
+        if (!hooks.shouldRun || hooks.shouldRun(i))
+            cellsToRun.push_back(i);
+    }
+
+    const std::size_t nrun = cellsToRun.size();
+    const std::size_t nreps = static_cast<std::size_t>(seeds);
+    result.cells.resize(ncells);
+    if (nreps > 1)
+        result.aggregates.resize(ncells);
+    if (nrun == 0) {
         result.cache = cacheStats();
         return result;
     }
 
-    // one task per (cell, replica); replicas of a cell are contiguous
-    // so post-join aggregation reads them in replica order
-    const std::size_t nreps = static_cast<std::size_t>(seeds);
-    const std::size_t ntasks = ncells * nreps;
+    // one task per (executed cell, replica); replicas of a cell are
+    // contiguous so aggregation reads them in replica order
+    const std::size_t ntasks = nrun * nreps;
     std::vector<RunResult> replicas(ntasks);
+    // per-cell countdown of unfinished replicas: the worker that
+    // finishes a cell's last replica aggregates it and reports it
+    // through onCellDone while other cells are still in flight
+    std::unique_ptr<std::atomic<std::size_t>[]> remaining(
+        new std::atomic<std::size_t>[nrun]);
+    std::unique_ptr<std::atomic<bool>[]> poisoned(
+        new std::atomic<bool>[nrun]);
+    for (std::size_t i = 0; i < nrun; i++) {
+        remaining[i].store(nreps, std::memory_order_relaxed);
+        poisoned[i].store(false, std::memory_order_relaxed);
+    }
 
     int jobs = spec.jobs != 0 ? spec.jobs : impl->defaultJobs;
     if (jobs <= 0)
@@ -317,6 +350,16 @@ ExperimentRunner::run(const SweepSpec &spec)
     std::mutex errorMu;
     std::exception_ptr firstError;
 
+    auto makeKey = [&](std::size_t cellIdx, std::size_t rep) {
+        CellKey key;
+        key.techIdx = cellIdx / nb;
+        key.benchIdx = cellIdx % nb;
+        key.rep = rep;
+        key.benchmark = spec.benchmarks[key.benchIdx];
+        key.technique = spec.techniques[key.techIdx];
+        return key;
+    };
+
     auto work = [&] {
         for (std::size_t j = nextTask.fetch_add(1); j < ntasks;
              j = nextTask.fetch_add(1)) {
@@ -325,15 +368,9 @@ ExperimentRunner::run(const SweepSpec &spec)
                 if (firstError)
                     return; // abandon remaining tasks
             }
+            const std::size_t slot = j / nreps;
+            const CellKey key = makeKey(cellsToRun[slot], j % nreps);
             try {
-                const std::size_t i = j / nreps;
-                CellKey key;
-                key.techIdx = i / nb;
-                key.benchIdx = i % nb;
-                key.rep = j % nreps;
-                key.benchmark = spec.benchmarks[key.benchIdx];
-                key.technique = spec.techniques[key.techIdx];
-
                 RunConfig cfg = spec.base;
                 cfg.tech = defs[key.techIdx]->tag;
                 if (spec.perCell)
@@ -349,9 +386,37 @@ ExperimentRunner::run(const SweepSpec &spec)
                 replicas[j] =
                     impl->runCell(key, *defs[key.techIdx], cfg);
             } catch (...) {
+                poisoned[slot].store(true, std::memory_order_relaxed);
                 std::lock_guard lock(errorMu);
                 if (!firstError)
                     firstError = std::current_exception();
+            }
+            // acq_rel: the finisher must see every sibling replica
+            // written by other workers before it aggregates the cell
+            if (remaining[slot].fetch_sub(
+                    1, std::memory_order_acq_rel) == 1 &&
+                !poisoned[slot].load(std::memory_order_relaxed)) {
+                const std::size_t cellIdx = cellsToRun[slot];
+                const RunResult *reps = &replicas[slot * nreps];
+                const CellAggregate *agg = nullptr;
+                if (nreps > 1) {
+                    result.aggregates[cellIdx] =
+                        aggregateReplicas(reps, nreps);
+                    agg = &result.aggregates[cellIdx];
+                }
+                if (hooks.onCellDone) {
+                    try {
+                        hooks.onCellDone(cellIdx, makeKey(cellIdx, 0),
+                                         reps[0], agg);
+                    } catch (...) {
+                        // e.g. a checkpoint write hitting a full disk:
+                        // abort the sweep cleanly instead of
+                        // terminating the worker thread
+                        std::lock_guard lock(errorMu);
+                        if (!firstError)
+                            firstError = std::current_exception();
+                    }
+                }
             }
         }
     };
@@ -369,17 +434,8 @@ ExperimentRunner::run(const SweepSpec &spec)
     if (firstError)
         std::rethrow_exception(firstError);
 
-    if (nreps == 1) {
-        result.cells = std::move(replicas);
-    } else {
-        result.aggregates.resize(ncells);
-        result.cells.resize(ncells);
-        for (std::size_t i = 0; i < ncells; i++) {
-            result.aggregates[i] =
-                aggregateReplicas(&replicas[i * nreps], nreps);
-            result.cells[i] = std::move(replicas[i * nreps]);
-        }
-    }
+    for (std::size_t slot = 0; slot < nrun; slot++)
+        result.cells[cellsToRun[slot]] = std::move(replicas[slot * nreps]);
 
     result.jobsUsed = jobs;
     result.cache = cacheStats();

@@ -31,6 +31,11 @@
  * built on common/stats RunningStats). Replica 0 keeps the configured
  * seed, so the result cells of a replicated sweep are bit-identical
  * to an unreplicated one. See DESIGN.md §7.
+ *
+ * Distribution: CellHooks lets a caller run any subset of the cell
+ * list (shard selection, resume) and observe each cell the moment it
+ * finishes (incremental checkpointing) — the substrate of the
+ * sharded/checkpointed layer in sim/checkpoint.hh. See DESIGN.md §8.
  */
 
 #ifndef SIQ_SIM_SWEEP_HH
@@ -141,7 +146,9 @@ struct CellAggregate
 /** The completed matrix, in deterministic technique-major order. */
 struct SweepResult
 {
+    /** The spec's benchmark axis, in sweep order. */
     std::vector<std::string> benchmarks;
+    /** The spec's technique axis, in sweep order. */
     std::vector<std::string> techniques;
     /** cells[t * benchmarks.size() + b]. Always the replica-0 run
      *  (the configured seed), so a replicated sweep's cells match an
@@ -177,6 +184,42 @@ struct SweepResult
                                std::size_t benchIdx) const;
 };
 
+/**
+ * Per-cell execution hooks for distributed / checkpointed runs.
+ *
+ * Both callbacks identify cells by their technique-major index
+ * (`techIdx * benchmarks.size() + benchIdx`), the same stable index
+ * `SweepResult::cells` uses — the index a shard partition or a
+ * checkpoint directory keys on (DESIGN.md §8).
+ */
+struct CellHooks
+{
+    /**
+     * Cell filter, consulted once per cell before any of its replicas
+     * are scheduled. Return false to skip the cell entirely (its
+     * result slot stays default-constructed). Null = run every cell.
+     * Used for shard selection and for resuming past already
+     * checkpointed cells.
+     */
+    std::function<bool(std::size_t cellIdx)> shouldRun;
+    /**
+     * Called exactly once per executed cell, as soon as its last
+     * replica finishes — while other cells may still be running, so
+     * long sweeps can checkpoint incrementally instead of only after
+     * the final join. Runs on a worker thread: implementations must
+     * be thread-safe (concurrent calls for different cells); a thrown
+     * exception aborts the sweep and rethrows from run().
+     * @p rep0 is the replica-0 (configured-seed) result;
+     * @p agg is the cell's replica aggregate, or nullptr when the
+     * sweep is unreplicated (seeds == 1). Both point at engine-owned
+     * storage that stays valid until run() returns. Cells whose
+     * replicas threw are never reported.
+     */
+    std::function<void(std::size_t cellIdx, const CellKey &key,
+                       const RunResult &rep0, const CellAggregate *agg)>
+        onCellDone;
+};
+
 /** Threaded sweep runner with per-runner program caches. */
 class ExperimentRunner
 {
@@ -191,6 +234,15 @@ class ExperimentRunner
 
     /** Run the whole matrix; blocks until every cell finished. */
     SweepResult run(const SweepSpec &spec);
+
+    /**
+     * Run the matrix with per-cell hooks: cells rejected by
+     * @p hooks.shouldRun are skipped (their result slots stay
+     * default-constructed) and every executed cell is reported
+     * through @p hooks.onCellDone as it completes. With empty hooks
+     * this is exactly run(spec).
+     */
+    SweepResult run(const SweepSpec &spec, const CellHooks &hooks);
 
     /** Cache counters accumulated across all run() calls so far. */
     SweepCacheStats cacheStats() const;

@@ -63,9 +63,11 @@ struct TechniqueDef
 class TechniqueRegistry
 {
   public:
+    /** The process-wide registry (created on first use). */
     static TechniqueRegistry &instance();
 
-    /** Register a technique. Fatal on duplicate names. */
+    /** Register a technique. @param def must carry a unique name;
+     *  duplicates are fatal. */
     void add(TechniqueDef def);
 
     /** Remove a registered technique. @return true if it existed. */
@@ -96,10 +98,17 @@ std::optional<Technique> techniqueFromName(const std::string &name);
 /** All registered technique names (built-ins first). */
 std::vector<std::string> techniqueNames();
 
-/** RAII registration for bench/example-local ablation variants. */
+/**
+ * RAII registration for bench/example-local ablation variants: the
+ * variant is sweepable exactly like a built-in for the scope's
+ * lifetime and unregistered on destruction. Note that registered
+ * variants exist only in the defining process — a serialized spec
+ * naming one cannot run under `siqsim` (DESIGN.md §8.1).
+ */
 class ScopedTechnique
 {
   public:
+    /** @param def the variant to register (fatal on name clash). */
     explicit ScopedTechnique(TechniqueDef def) : name(def.name)
     {
         TechniqueRegistry::instance().add(std::move(def));

@@ -40,17 +40,12 @@ smallSpec()
     return spec;
 }
 
-/** Zero the wall-clock metadata so byte-level comparisons only see
- *  measurements (the one legitimate run-to-run difference). */
+/** Canonical form: byte-level comparisons only see measurements (the
+ *  one legitimate run-to-run difference is wall-clock metadata). */
 sim::SweepResult
 normalized(sim::SweepResult s)
 {
-    s.jobsUsed = 0;
-    s.wallSeconds = 0.0;
-    for (auto &cell : s.cells) {
-        cell.generateSeconds = 0.0;
-        cell.compile.seconds = 0.0;
-    }
+    sim::canonicalize(s);
     return s;
 }
 

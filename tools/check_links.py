@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo docs.
+
+Checks every inline markdown link in the given files:
+  - relative links must point at an existing file or directory
+    (resolved against the linking file's directory);
+  - intra- and cross-file heading anchors (#section) must match a
+    heading, using GitHub's slug rules (lowercase, spaces -> dashes,
+    punctuation dropped);
+  - http(s) links are only syntax-checked — CI has no business
+    depending on the network.
+
+Exit status is the number of broken links (0 = all good). Run from
+the repo root: python3 tools/check_links.py README.md DESIGN.md ...
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[([^\]]*)\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(2)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        dest = path if not base else (path.parent / base)
+        if not dest.exists():
+            errors.append(f"{path}: broken link '{target}' "
+                          f"(no such file '{dest}')")
+            continue
+        if anchor and dest.is_file():
+            if slugify(anchor) not in anchors_of(dest):
+                errors.append(f"{path}: broken anchor '{target}' "
+                              f"(no heading '#{anchor}' in '{dest}')")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file to check does not exist")
+            continue
+        errors.extend(check_file(path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"check_links: {len(argv) - 1} files OK")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
