@@ -8,6 +8,8 @@
  *                      per-cell checkpointing and resume)
  *   siqsim merge ...   fold shard checkpoint directories back into
  *                      the canonical single-file JSON/CSV
+ *   siqsim status ...  report cells done/missing (per shard) for a
+ *                      checkpoint run directory
  *   siqsim list        list benchmarks and registered techniques
  *
  * `run` and `merge` emit *canonical* exports: scheduling and
@@ -49,6 +51,7 @@ usage:
   siqsim spec [options]             print a sweep-spec JSON
   siqsim run --spec FILE [options]  run a spec, whole or one shard
   siqsim merge DIR... [options]     fold checkpoint dirs into one matrix
+  siqsim status DIR [--shards N]    cells done/missing in a run dir
   siqsim list                       list benchmarks and techniques
 
 spec options (grid axes and budgets; all optional):
@@ -77,6 +80,15 @@ merge options:
   DIR...                       checkpoint dirs written by 'run' (one
                                shared dir, or one per shard)
   --json/--csv/--power-csv FILE, --baseline NAME   as for run
+
+status options:
+  DIR                          a checkpoint run directory (its
+                               spec.json names the grid)
+  --shards N                   additionally break the report down by
+                               the N-way shard partition cells were
+                               (or will be) run under
+  exit status: 0 when every cell is checkpointed, 3 when cells are
+  still missing (distinct from 1, a usage/IO error)
 
 The merge of N shard directories is byte-identical to the same spec
 run unsharded — both are canonical exports of the same pure function.
@@ -378,6 +390,82 @@ cmdMerge(Args args)
 }
 
 int
+cmdStatus(Args args)
+{
+    const auto shardsOpt = args.option("shards");
+    std::vector<std::string> dirs = args.rest();
+    if (dirs.size() != 1)
+        fatal("siqsim status: exactly one run directory is required");
+    const fs::path dir = dirs.front();
+    const fs::path specPath = dir / "spec.json";
+    std::ifstream is(specPath);
+    if (!is) {
+        fatal("siqsim status: cannot read '", specPath.string(),
+              "' (not a checkpoint run directory?)");
+    }
+    const sim::SweepSpec spec = sim::readSpecJson(is);
+
+    const std::size_t nb = spec.benchmarks.size();
+    const std::vector<bool> have = sim::scanCheckpoints(dir, spec);
+    std::size_t done = 0;
+    for (const bool h : have)
+        done += h ? 1 : 0;
+
+    std::cout << "run dir: " << dir.string() << "\n"
+              << "grid: " << nb << " benchmarks x "
+              << spec.techniques.size() << " techniques = "
+              << have.size() << " cells";
+    if (spec.seeds > 1)
+        std::cout << " (" << spec.seeds << " seeds per cell)";
+    std::cout << "\ncheckpointed: " << done << "/" << have.size()
+              << "\n";
+
+    if (shardsOpt) {
+        const long n = toLong("shards", *shardsOpt);
+        if (n < 1)
+            fatal("siqsim status: --shards must be >= 1");
+        for (int s = 0; s < n; s++) {
+            const sim::ShardPlan plan{s, static_cast<int>(n)};
+            std::size_t owned = 0;
+            std::size_t ownedDone = 0;
+            for (std::size_t i = 0; i < have.size(); i++) {
+                if (!sim::ownsCell(plan, i))
+                    continue;
+                owned++;
+                ownedDone += have[i] ? 1 : 0;
+            }
+            std::cout << "shard " << sim::toString(plan) << ": "
+                      << ownedDone << "/" << owned << " done"
+                      << (ownedDone == owned ? "" : " — incomplete")
+                      << "\n";
+        }
+    }
+
+    if (done < have.size()) {
+        constexpr std::size_t listCap = 20;
+        std::size_t listed = 0;
+        std::cout << "missing cells:\n";
+        for (std::size_t i = 0; i < have.size(); i++) {
+            if (have[i])
+                continue;
+            if (listed++ == listCap) {
+                std::cout << "  ... and "
+                          << have.size() - done - listCap
+                          << " more\n";
+                break;
+            }
+            std::cout << "  " << i << ": "
+                      << spec.techniques[i / nb] << "/"
+                      << spec.benchmarks[i % nb] << "\n";
+        }
+        return 3;
+    }
+    std::cout << "complete: ready for 'siqsim merge "
+              << dir.string() << "'\n";
+    return 0;
+}
+
+int
 cmdList()
 {
     std::cout << "benchmarks:\n";
@@ -409,6 +497,8 @@ main(int argc, char **argv)
             return cmdRun(Args(argc, argv, 2));
         if (cmd == "merge")
             return cmdMerge(Args(argc, argv, 2));
+        if (cmd == "status")
+            return cmdStatus(Args(argc, argv, 2));
         if (cmd == "list")
             return cmdList();
         std::cerr << "siqsim: unknown command '" << cmd << "'\n\n";

@@ -17,6 +17,14 @@
 namespace siq::stats
 {
 
+/**
+ * Two-sided 95% critical value for a mean estimated from @p n
+ * samples: the Student-t quantile t(0.975, n-1) for n <= 30 (exact
+ * small-sample coverage), the normal approximation 1.96 beyond, and
+ * 0 below two samples (spread is undefined).
+ */
+double tCritical95(std::uint64_t n);
+
 /** A monotonically increasing event counter. */
 class Scalar
 {
@@ -76,8 +84,9 @@ class RunningStats
     /** Sample standard deviation; 0 below 2 samples. */
     double stddev() const;
     /**
-     * Half-width of the normal-approximation 95% confidence interval
-     * on the mean (1.96 * stddev / sqrt(n)); 0 below 2 samples.
+     * Half-width of the 95% confidence interval on the mean:
+     * tCritical95(n) * stddev / sqrt(n) — Student-t critical values
+     * for n <= 30, 1.96 beyond; 0 below 2 samples.
      */
     double ci95() const;
     void reset();

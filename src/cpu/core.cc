@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -9,13 +10,41 @@ namespace siq
 
 namespace
 {
-/** Physical register handle: file selector in the high bits. */
+/** Physical register handle: file selector in the high bits (see
+ *  regHandleStride in core.hh for the packing invariant). */
 int
 handleOf(int file, int phys)
 {
-    return file * 256 + phys;
+    return file * regHandleStride + phys;
 }
 } // namespace
+
+void
+CompletionWheel::init(int maxLatency)
+{
+    SIQ_ASSERT(maxLatency >= 1, "wheel needs a positive horizon");
+    constexpr std::uint64_t slotCap = 4096;
+    const auto want = static_cast<std::uint64_t>(maxLatency) + 2;
+    const std::uint64_t n =
+        std::bit_ceil(want < slotCap ? want : slotCap);
+    slots.assign(n, {});
+    mask = n - 1;
+}
+
+void
+CompletionWheel::popDue(std::uint64_t now, std::vector<int> &out)
+{
+    out.clear();
+    auto &vec = slots[now & mask];
+    std::size_t keep = 0;
+    for (const Event &ev : vec) {
+        if (ev.cycle == now)
+            out.push_back(ev.robIdx);
+        else
+            vec[keep++] = ev; // beyond-horizon lap: keep, in order
+    }
+    vec.resize(keep);
+}
 
 Core::Core(const Program &prog_, const CoreConfig &config,
            IqLimitController *controller)
@@ -24,7 +53,20 @@ Core::Core(const Program &prog_, const CoreConfig &config,
       lsq(config.lsq), intRegs(config.intRegs), fpRegs(config.fpRegs)
 {
     SIQ_ASSERT(cfg.robSize > 0, "empty ROB");
-    rob.assign(static_cast<std::size_t>(cfg.robSize), DynInst{});
+    SIQ_ASSERT(cfg.fetchQueueSize > 0, "empty fetch queue");
+    SIQ_ASSERT(cfg.intRegs.numPhys <= regHandleStride &&
+               cfg.fpRegs.numPhys <= regHandleStride,
+               "handle packing requires phys < ", regHandleStride);
+    rob.assign(static_cast<std::size_t>(cfg.robSize), RobCold{});
+    robHot.assign(static_cast<std::size_t>(cfg.robSize), RobHot{});
+    robCompleted.assign(static_cast<std::size_t>(cfg.robSize), 0);
+    fetchQueue.assign(static_cast<std::size_t>(cfg.fetchQueueSize),
+                      DynInst{});
+    // the wheel's one-lap horizon covers every latency the model can
+    // produce: FU latencies plus the configured cache/memory path
+    wheel.init(std::max({maxOpcodeLatency(), cfg.mem.l1d.hitLatency,
+                         cfg.mem.l2.hitLatency, cfg.mem.memLatency,
+                         1}));
 }
 
 std::uint64_t
@@ -46,18 +88,29 @@ Core::blockStartPc(int procId, int blockId) const
 std::uint64_t
 Core::pcOfCurrent() const
 {
-    const auto &blk =
-        prog.procs[_exec.curProc()].blocks[_exec.curBlock()];
-    return blk.insts[static_cast<std::size_t>(_exec.curInst())].pc;
+    return _exec.peek().pc;
 }
 
 int
 Core::fuUnitsBusy(int fu)
 {
-    auto &busy = nonPipedBusy[fu];
-    std::erase_if(busy,
-                  [this](std::uint64_t until) { return until <= now; });
-    return static_cast<int>(busy.size());
+    if (nonPipedPruned[fu] != now) {
+        auto &busy = nonPipedBusy[fu];
+        std::erase_if(busy, [this](std::uint64_t until) {
+            return until <= now;
+        });
+        nonPipedCount[fu] = static_cast<int>(busy.size());
+        nonPipedPruned[fu] = now;
+    }
+    return nonPipedCount[fu];
+}
+
+void
+Core::noteNonPipedIssue(int fu, std::uint64_t until)
+{
+    fuUnitsBusy(fu); // make this cycle's memoized count current
+    nonPipedBusy[fu].push_back(until);
+    nonPipedCount[fu]++;
 }
 
 int
@@ -149,14 +202,14 @@ Core::commitStage()
     int committed = 0;
     while (committed < cfg.commitWidth && robCount > 0 &&
            !coreHalted) {
-        DynInst &di = rob[robHead];
-        if (!di.completed)
+        if (!robCompleted[robHead])
             break;
-        const auto &t = di.si->traits();
-        if (t.isStore)
-            mem.dataAccess(di.step.memAddr * 8);
-        if (t.isLoad || t.isStore)
-            lsq.releaseHead(di.lsqIdx);
+        const RobCold &di = rob[robHead];
+        const RobHot &h = robHot[robHead];
+        if (h.flags & robFlagStore)
+            mem.dataAccess(h.memAddr * 8);
+        if (h.flags & (robFlagLoad | robFlagStore))
+            lsq.releaseHead(h.lsqIdx);
         if (di.oldPdst >= 0) {
             (di.dstFile == 1 ? fpRegs : intRegs)
                 .release(di.oldPdst);
@@ -173,85 +226,84 @@ Core::commitStage()
 void
 Core::writebackStage()
 {
-    const auto it = completions.find(now);
-    if (it == completions.end())
-        return;
-    for (const int robIdx : it->second) {
-        DynInst &di = rob[robIdx];
-        di.completed = true;
-        if (di.pdst >= 0) {
-            if (di.dstFile == 1) {
-                fpRegs.setReady(di.pdst);
+    wheel.popDue(now, wbScratch);
+    for (const int robIdx : wbScratch) {
+        const RobHot &h = robHot[robIdx];
+        robCompleted[robIdx] = 1;
+        if (h.pdstHandle >= 0) {
+            if (h.pdstHandle >= regHandleStride) {
+                fpRegs.setReady(h.pdstHandle - regHandleStride);
                 _stats.rfFpWrites++;
             } else {
-                intRegs.setReady(di.pdst);
+                intRegs.setReady(h.pdstHandle);
                 _stats.rfIntWrites++;
             }
-            iq.wakeup(handleOf(di.dstFile, di.pdst));
+            iq.wakeup(h.pdstHandle);
         }
-        if (di.si->traits().isStore)
-            lsq.markCompleted(di.lsqIdx);
-        if (di.stallsFetch) {
+        if (h.flags & robFlagStore)
+            lsq.markCompleted(h.lsqIdx);
+        if (h.flags & robFlagStallsFetch) {
             fetchBlocked = false;
             fetchResumeCycle =
                 std::max<std::uint64_t>(fetchResumeCycle, now + 1);
         }
     }
-    completions.erase(it);
 }
 
 void
 Core::issueStage()
 {
-    static thread_local std::vector<IssueQueue::Candidate> ready;
-    iq.collectReady(ready);
+    iq.collectReady(readyScratch);
     std::array<int, coreNumFuClasses> fuUsed{};
     const int regionAtStart = iq.regionSize();
     int issued = 0;
 
-    for (const auto &cand : ready) {
+    for (const auto &cand : readyScratch) {
         if (issued >= cfg.issueWidth)
             break;
-        DynInst &di = rob[cand.robIdx];
-        const auto &t = di.si->traits();
-        const auto fu = static_cast<int>(t.fu);
+        const RobHot &h = robHot[cand.robIdx];
+        const int fu = h.fu;
         // a pipelined unit is busy for one issue slot; a
         // non-pipelined one (divides) holds its unit for the full
         // latency, tracked in fuUnitsBusy
-        if (t.fu != FuClass::None &&
+        if (fu != static_cast<int>(FuClass::None) &&
             fuUsed[fu] + fuUnitsBusy(fu) >= cfg.fuCounts[fu]) {
             continue;
         }
-        if (t.isLoad && lsq.loadBlocked(di.lsqIdx))
+        if ((h.flags & robFlagLoad) && lsq.loadBlocked(h.lsqIdx))
             continue;
 
-        int latency = t.latency;
-        if (t.isLoad) {
+        int latency = h.latency;
+        if (h.flags & robFlagLoad) {
             _stats.loads++;
-            if (lsq.loadForwards(di.lsqIdx)) {
+            if (lsq.loadForwards(h.lsqIdx)) {
                 latency = 1;
                 _stats.loadForwards++;
             } else {
-                latency = mem.dataAccess(di.step.memAddr * 8);
+                latency = mem.dataAccess(h.memAddr * 8);
             }
         }
-        if (t.pipelined) {
+        if (h.flags & robFlagPipelined) {
             fuUsed[fu]++;
         } else {
-            nonPipedBusy[fu].push_back(
-                now + static_cast<std::uint64_t>(latency));
+            noteNonPipedIssue(
+                fu, now + static_cast<std::uint64_t>(latency));
         }
         issued++;
         iq.markIssued(cand.slot);
-        if (t.isLoad || t.isStore)
-            lsq.markIssued(di.lsqIdx);
-        completions[now + static_cast<std::uint64_t>(latency)]
-            .push_back(cand.robIdx);
+        if (h.flags & (robFlagLoad | robFlagStore))
+            lsq.markIssued(h.lsqIdx);
+        wheel.schedule(now + static_cast<std::uint64_t>(latency),
+                       cand.robIdx);
 
-        for (int handle : {di.psrc1, di.psrc2}) {
-            if (handle < 0)
-                continue;
-            if (handle >= 256)
+        if (h.psrc1 >= 0) {
+            if (h.psrc1 >= regHandleStride)
+                _stats.rfFpReads++;
+            else
+                _stats.rfIntReads++;
+        }
+        if (h.psrc2 >= 0) {
+            if (h.psrc2 >= regHandleStride)
                 _stats.rfFpReads++;
             else
                 _stats.rfIntReads++;
@@ -267,8 +319,8 @@ void
 Core::dispatchStage()
 {
     int dispatched = 0;
-    while (dispatched < cfg.dispatchWidth && !fetchQueue.empty()) {
-        DynInst &front = fetchQueue.front();
+    while (dispatched < cfg.dispatchWidth && fqCount > 0) {
+        DynInst &front = fetchQueue[fqHead];
         if (front.decodeReadyCycle > now)
             break;
 
@@ -277,7 +329,7 @@ Core::dispatchStage()
         if (front.si->op == Opcode::Hint) {
             iq.applyHint(front.si->hintValue);
             _stats.hintsApplied++;
-            fetchQueue.pop_front();
+            fqPop();
             dispatched++;
             continue;
         }
@@ -332,39 +384,57 @@ Core::dispatchStage()
             break;
         }
 
-        // rename
-        DynInst di = front;
-        fetchQueue.pop_front();
+        // rename in place in the fetch-queue slot, then copy once
+        // into the ROB (the slot stays untouched until a later fetch
+        // reuses it)
         bool ready1 = true;
         bool ready2 = true;
-        di.psrc1 = t.readsSrc1 ? sourceHandle(di.si->src1, ready1)
-                               : -1;
-        di.psrc2 = t.readsSrc2 ? sourceHandle(di.si->src2, ready2)
-                               : -1;
-        di.dstFile = dstFile;
+        front.psrc1 = t.readsSrc1
+                          ? sourceHandle(front.si->src1, ready1)
+                          : -1;
+        front.psrc2 = t.readsSrc2
+                          ? sourceHandle(front.si->src2, ready2)
+                          : -1;
+        front.dstFile = dstFile;
         if (dstFile >= 0) {
             auto &file = dstFile == 1 ? fpRegs : intRegs;
             const int arch = dstFile == 1
-                                 ? di.si->dst - fpRegBase
-                                 : di.si->dst;
+                                 ? front.si->dst - fpRegBase
+                                 : front.si->dst;
             const auto [fresh, old] = file.rename(arch);
-            di.pdst = fresh;
-            di.oldPdst = old;
+            front.pdst = fresh;
+            front.oldPdst = old;
         }
 
         const int robIdx = robTail;
         if (t.isLoad || t.isStore)
-            di.lsqIdx = lsq.allocate(t.isStore, di.step.memAddr,
-                                     robIdx);
+            front.lsqIdx = lsq.allocate(t.isStore,
+                                        front.step.memAddr, robIdx);
         if (t.isStore)
             _stats.stores++;
         if (needsIq) {
-            di.iqSlot = iq.dispatch(robIdx, di.psrc1, ready1,
-                                    di.psrc2, ready2, di.seq);
-        } else {
-            di.completed = true; // Nop/Halt: nothing to execute
+            iq.dispatch(robIdx, front.psrc1, ready1, front.psrc2,
+                        ready2, front.seq);
         }
-        rob[robIdx] = di;
+        rob[robIdx] = {front.si, front.oldPdst,
+                       static_cast<std::int8_t>(dstFile)};
+        RobHot &h = robHot[robIdx];
+        h.memAddr = front.step.memAddr;
+        h.lsqIdx = front.lsqIdx;
+        h.pdstHandle =
+            dstFile >= 0 ? handleOf(dstFile, front.pdst) : -1;
+        h.psrc1 = front.psrc1;
+        h.psrc2 = front.psrc2;
+        h.latency = static_cast<std::int16_t>(t.latency);
+        h.fu = static_cast<std::int8_t>(t.fu);
+        h.flags = static_cast<std::uint8_t>(
+            (t.pipelined ? robFlagPipelined : 0) |
+            (t.isLoad ? robFlagLoad : 0) |
+            (t.isStore ? robFlagStore : 0) |
+            (front.stallsFetch ? robFlagStallsFetch : 0));
+        // Nop/Halt never execute: complete at dispatch
+        robCompleted[robIdx] = needsIq ? 0 : 1;
+        fqPop();
         robTail = robTail + 1 == cfg.robSize ? 0 : robTail + 1;
         robCount++;
         dispatched++;
@@ -381,9 +451,7 @@ Core::fetchStage()
     }
     int fetched = 0;
     while (fetched < cfg.fetchWidth &&
-           fetchQueue.size() <
-               static_cast<std::size_t>(cfg.fetchQueueSize) &&
-           !_exec.halted()) {
+           fqCount < cfg.fetchQueueSize && !_exec.halted()) {
         const std::uint64_t pc = pcOfCurrent();
         const std::uint64_t line = pc / cfg.mem.l1i.lineBytes;
         if (line != lastFetchLine) {
@@ -396,7 +464,13 @@ Core::fetchStage()
             }
         }
 
-        DynInst di;
+        DynInst &di = fetchQueue[fqTail];
+        // reset only what dispatch reads before (re)assigning it —
+        // everything else is written below or at dispatch
+        di.oldPdst = -1;
+        di.lsqIdx = -1;
+        di.hintApplied = false;
+        di.stallsFetch = false;
         di.step = _exec.step();
         di.si = di.step.inst;
         di.seq = seqCounter++;
@@ -410,7 +484,8 @@ Core::fetchStage()
         const bool taken =
             di.step.taken || di.si->traits().isJump;
 
-        fetchQueue.push_back(di);
+        fqTail = fqTail + 1 == cfg.fetchQueueSize ? 0 : fqTail + 1;
+        fqCount++;
         _stats.fetched++;
         fetched++;
 

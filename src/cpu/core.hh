@@ -15,6 +15,15 @@
  * wakeup+select works as in the paper's figure 1, where producers
  * complete and consumers issue in the same cycle):
  *   commit -> writeback -> select/issue -> dispatch -> fetch.
+ *
+ * Hot-path structure (DESIGN.md §9): completion events live in a
+ * calendar wheel (CompletionWheel) instead of an ordered map, the
+ * fetch queue is a fixed ring, per-tick scratch vectors are reusable
+ * member arenas, and the state the issue/writeback stages touch per
+ * cycle is split into dense ROB-parallel arrays (RobHot + a completed
+ * flag) so steady-state ticking allocates nothing and walks dense
+ * memory. All architectural counters are byte-identical to the
+ * pre-wheel implementation (tests/test_determinism_pin.cc).
  */
 
 #ifndef SIQ_CPU_CORE_HH
@@ -22,8 +31,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <vector>
 
 #include "cpu/bpred.hh"
@@ -39,6 +46,16 @@ namespace siq
 {
 
 constexpr int coreNumFuClasses = static_cast<int>(FuClass::NumClasses);
+
+/**
+ * Physical-register handle packing: handle = file * regHandleStride
+ * + phys (int file 0, fp file 1). Every consumer of the packed form
+ * — the writeback file split, the RF-read accounting, and the IQ's
+ * wake-up waiter index (sized 2 * regHandleStride) — relies on
+ * phys < regHandleStride, which the Core constructor asserts against
+ * both register-file configurations.
+ */
+constexpr int regHandleStride = 256;
 
 /** Full machine configuration, defaults per Table 1. */
 struct CoreConfig
@@ -112,7 +129,8 @@ struct CoreStats
     bool operator==(const CoreStats &) const = default;
 };
 
-/** One in-flight instruction. */
+/** One in-flight instruction between fetch and dispatch (a slot of
+ *  the fetch ring; the ROB keeps only RobCold + the dense arrays). */
 struct DynInst
 {
     const StaticInst *si = nullptr;
@@ -124,12 +142,94 @@ struct DynInst
     int oldPdst = -1;
     int psrc1 = -1; ///< handle: file*256 + phys
     int psrc2 = -1;
-    int iqSlot = -1;
     int lsqIdx = -1;
     std::uint64_t decodeReadyCycle = 0;
-    bool completed = false;
     bool hintApplied = false;
     bool stallsFetch = false; ///< fetch resumes when this completes
+};
+
+/** What the commit stage still needs of a ROB entry after dispatch
+ *  (issue/writeback run entirely off RobHot/robCompleted). */
+struct RobCold
+{
+    const StaticInst *si = nullptr;
+    std::int32_t oldPdst = -1;
+    std::int8_t dstFile = -1;
+};
+
+/**
+ * Calendar/event wheel for completion events (DESIGN.md §9.1): a
+ * power-of-two ring of per-slot vectors replacing the old
+ * `std::map<cycle, std::vector<robIdx>>`. schedule() appends to slot
+ * `cycle & mask`; popDue() drains the current cycle's slot.
+ *
+ * Each entry stores its absolute due cycle, so latencies beyond the
+ * horizon are not an error: the entry survives intermediate visits of
+ * its slot (popDue keeps not-yet-due entries, order preserved) and
+ * pops on the correct lap. All events of one cycle land in one slot
+ * in scheduling order — exactly the order the map's per-cycle vector
+ * had — so the swap is byte-identical for every architectural
+ * counter. Slot vectors shrink by resize(), keeping their capacity:
+ * steady-state operation never allocates.
+ */
+class CompletionWheel
+{
+  public:
+    /** Size the ring to cover @p maxLatency within one lap
+     *  (bit_ceil(maxLatency + 2) slots, capped at 4096). */
+    void init(int maxLatency);
+
+    void
+    schedule(std::uint64_t cycle, int robIdx)
+    {
+        slots[cycle & mask].push_back({cycle, robIdx});
+    }
+
+    /** Move the ROB index of every event due at @p now into @p out
+     *  (cleared first), in scheduling order; later-lap events stay. */
+    void popDue(std::uint64_t now, std::vector<int> &out);
+
+    int numSlots() const { return static_cast<int>(slots.size()); }
+
+  private:
+    struct Event
+    {
+        std::uint64_t cycle;
+        int robIdx;
+    };
+
+    std::vector<std::vector<Event>> slots;
+    std::uint64_t mask = 0;
+};
+
+/// @name RobHot flag bits.
+/// @{
+constexpr std::uint8_t robFlagPipelined = 1 << 0;
+constexpr std::uint8_t robFlagLoad = 1 << 1;
+constexpr std::uint8_t robFlagStore = 1 << 2;
+constexpr std::uint8_t robFlagStallsFetch = 1 << 3;
+/// @}
+
+/**
+ * Dense per-ROB-entry state for the per-cycle stages (structure of
+ * arrays, DESIGN.md §9.2): everything select/issue and writeback
+ * need, packed into 32 bytes so they never touch the cold DynInst
+ * array. Filled at dispatch; read by issue (FU class, latency,
+ * flags, LSQ index, memory address, source handles for RF-read
+ * accounting), writeback (destination handle, store/stalls-fetch
+ * flags) and commit (memory address, LSQ index).
+ */
+struct RobHot
+{
+    std::uint64_t memAddr = 0; ///< word address for loads/stores
+    std::int32_t lsqIdx = -1;
+    /** Packed destination: handleOf(dstFile, pdst), -1 if none. */
+    std::int32_t pdstHandle = -1;
+    std::int32_t psrc1 = -1;
+    std::int32_t psrc2 = -1;
+    std::int16_t latency = 1;
+    std::int8_t fu = 0; ///< static_cast<int8_t>(FuClass)
+    std::uint8_t flags = 0;
 };
 
 /** The cycle-level core. */
@@ -185,8 +285,21 @@ class Core
     std::uint64_t blockStartPc(int proc, int block) const;
     void predictControl(DynInst &di);
     int sourceHandle(int archReg, bool &ready) const;
-    /** Units of @p fu still held by non-pipelined ops (prunes). */
+    /** Units of @p fu still held by non-pipelined ops; the pruned
+     *  count is memoized per cycle (prunes once, not per issue
+     *  candidate). */
     int fuUnitsBusy(int fu);
+    /** Record a non-pipelined issue holding @p fu until @p until. */
+    void noteNonPipedIssue(int fu, std::uint64_t until);
+
+    /** Pop the fetch-queue head slot (data stays valid until a later
+     *  fetch overwrites it). */
+    void
+    fqPop()
+    {
+        fqHead = fqHead + 1 == cfg.fetchQueueSize ? 0 : fqHead + 1;
+        fqCount--;
+    }
 
     const Program &prog;
     CoreConfig cfg;
@@ -200,13 +313,21 @@ class Core
     RegFile intRegs;
     RegFile fpRegs;
 
-    std::vector<DynInst> rob;
+    std::vector<RobCold> rob;
+    /** ROB-parallel dense arrays (§9.2). */
+    std::vector<RobHot> robHot;
+    std::vector<std::uint8_t> robCompleted;
     int robHead = 0;
     int robTail = 0;
     int robCount = 0;
 
-    std::deque<DynInst> fetchQueue;
-    std::map<std::uint64_t, std::vector<int>> completions;
+    /** Fetch queue: fixed ring of cfg.fetchQueueSize DynInst slots. */
+    std::vector<DynInst> fetchQueue;
+    int fqHead = 0;
+    int fqTail = 0;
+    int fqCount = 0;
+
+    CompletionWheel wheel;
 
     std::uint64_t now = 0;
     std::uint64_t seqCounter = 0;
@@ -217,9 +338,16 @@ class Core
     bool fetchDone = false; ///< program fully fetched (halt seen)
     bool coreHalted = false;
 
-    // busy-until cycles of units held by in-flight non-pipelined ops
+    // busy-until cycles of units held by in-flight non-pipelined ops,
+    // with a per-cycle memoized pruned count
     std::array<std::vector<std::uint64_t>, coreNumFuClasses>
         nonPipedBusy;
+    std::array<int, coreNumFuClasses> nonPipedCount{};
+    std::array<std::uint64_t, coreNumFuClasses> nonPipedPruned{};
+
+    /** Reusable per-tick scratch arenas (cleared by index reset). */
+    std::vector<IssueQueue::Candidate> readyScratch;
+    std::vector<int> wbScratch;
 
     // per-cycle signals for the resize controller
     ResizeSignals signals;

@@ -1,9 +1,34 @@
 #include "cpu/iq.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace siq
 {
+
+void
+IssueQueue::readyInsert(int slot)
+{
+    // binary search by current region position; relative positions
+    // of live slots are invariant, so the vector stays sorted
+    const int key = distFromHead(slot);
+    const auto it = std::lower_bound(
+        readySlots.begin(), readySlots.end(), key,
+        [this](int s, int k) { return distFromHead(s) < k; });
+    readySlots.insert(it, slot);
+}
+
+void
+IssueQueue::readyRemove(int slot)
+{
+    const int key = distFromHead(slot);
+    const auto it = std::lower_bound(
+        readySlots.begin(), readySlots.end(), key,
+        [this](int s, int k) { return distFromHead(s) < k; });
+    if (it != readySlots.end() && *it == slot)
+        readySlots.erase(it);
+}
 
 IssueQueue::IssueQueue(const IqConfig &config) : cfg(config)
 {
@@ -14,6 +39,9 @@ IssueQueue::IssueQueue(const IqConfig &config) : cfg(config)
     slots.assign(static_cast<std::size_t>(cfg.numEntries), {});
     bankValid.assign(static_cast<std::size_t>(nbanks), 0);
     bankPending.assign(static_cast<std::size_t>(nbanks), 0);
+    // handles are file*256 + phys with phys < 256 (regHandleStride
+    // in cpu/core.hh; the Core constructor asserts the invariant)
+    waiters.assign(512, {});
     maxNewRange = cfg.numEntries; // unconstrained until a hint arrives
 }
 
@@ -34,7 +62,20 @@ IssueQueue::dispatch(int robIdx, int psrc1, bool ready1, int psrc2,
     e.seq = seq;
     const int bank = slot / cfg.bankSize;
     const int pending = (e.ready1 ? 0 : 1) + (e.ready2 ? 0 : 1);
-    bankValid[bank]++;
+    if (!e.ready1) {
+        SIQ_ASSERT(psrc1 >= 0 &&
+                   psrc1 < static_cast<int>(waiters.size()),
+                   "tag out of range: ", psrc1);
+        waiters[psrc1].push_back(slot * 2);
+    }
+    if (!e.ready2) {
+        SIQ_ASSERT(psrc2 >= 0 &&
+                   psrc2 < static_cast<int>(waiters.size()),
+                   "tag out of range: ", psrc2);
+        waiters[psrc2].push_back(slot * 2 + 1);
+    }
+    if (bankValid[bank]++ == 0)
+        poweredBankCount++;
     bankPending[bank] += pending;
     pendingOps += pending;
     tail = next(tail);
@@ -42,6 +83,8 @@ IssueQueue::dispatch(int robIdx, int psrc1, bool ready1, int psrc2,
     regionLen++;
     newRegionLen++;
     events.dispatchWrites++;
+    if (e.ready1 && e.ready2)
+        readyInsert(slot);
     return slot;
 }
 
@@ -64,90 +107,52 @@ IssueQueue::wakeup(int ptag)
     events.cmpConventional +=
         2 * static_cast<std::uint64_t>(cfg.numEntries);
 
-    // powered-bank operand slots (bank gating only, no operand gating)
-    for (int b = 0; b < nbanks; b++) {
-        if (bankValid[b] > 0) {
-            events.cmpPowered +=
-                2 * static_cast<std::uint64_t>(cfg.bankSize);
-        }
-    }
+    // powered-bank operand slots (bank gating only, no operand
+    // gating) — poweredBankCount is exactly the number of banks the
+    // old per-bank scan found occupied
+    events.cmpPowered += 2 * static_cast<std::uint64_t>(cfg.bankSize) *
+                         static_cast<std::uint64_t>(poweredBankCount);
 
     // gated comparisons: only non-ready operands of valid entries
     // participate, and pendingOps is exactly their count — account
-    // for them in bulk, then walk only to set ready bits, skipping
-    // banks with nothing pending and stopping once every pending
-    // operand has been examined.
+    // for them in bulk. The ready-bit updates then touch only this
+    // tag's registered waiters (O(matches), not a region walk); each
+    // record is re-validated against the live entry, so stale or
+    // duplicate records are harmless no-ops.
     events.cmpGated += static_cast<std::uint64_t>(pendingOps);
 
-    int remaining = pendingOps;
-    int slot = head;
-    int i = 0;
-    while (remaining > 0 && i < regionLen) {
-        const int bank = slot / cfg.bankSize;
-        int chunk = (bank + 1) * cfg.bankSize - slot;
-        if (chunk > regionLen - i)
-            chunk = regionLen - i;
-        if (bankPending[bank] == 0) {
-            // banks tile the slot array, so the chunk never wraps
-            i += chunk;
-            slot += chunk;
-            if (slot == cfg.numEntries)
-                slot = 0;
-            continue;
-        }
-        for (int k = 0; k < chunk; k++, i++, slot = next(slot)) {
-            Entry &e = slots[slot];
-            if (!e.valid)
+    SIQ_ASSERT(ptag >= 0 && ptag < static_cast<int>(waiters.size()),
+               "tag out of range: ", ptag);
+    auto &ws = waiters[ptag];
+    for (const int w : ws) {
+        const int slot = w >> 1;
+        Entry &e = slots[slot];
+        if (!e.valid)
+            continue; // stale: issued (or squashed) while pending
+        const bool wasReady = e.ready1 && e.ready2;
+        if ((w & 1) == 0) {
+            if (e.ready1 || e.psrc1 != ptag)
+                continue; // already woken, or the slot was reused
+            e.ready1 = true;
+        } else {
+            if (e.ready2 || e.psrc2 != ptag)
                 continue;
-            if (!e.ready1) {
-                remaining--;
-                if (e.psrc1 == ptag) {
-                    e.ready1 = true;
-                    bankPending[bank]--;
-                    pendingOps--;
-                }
-            }
-            if (!e.ready2) {
-                remaining--;
-                if (e.psrc2 == ptag) {
-                    e.ready2 = true;
-                    bankPending[bank]--;
-                    pendingOps--;
-                }
-            }
+            e.ready2 = true;
         }
+        bankPending[slot / cfg.bankSize]--;
+        pendingOps--;
+        if (!wasReady && e.ready1 && e.ready2)
+            readyInsert(slot);
     }
+    ws.clear();
 }
 
 void
 IssueQueue::collectReady(std::vector<Candidate> &out) const
 {
     out.clear();
-    int slot = head;
-    int i = 0;
-    int unseen = count; // valid entries not reached yet
-    while (unseen > 0 && i < regionLen) {
-        const int bank = slot / cfg.bankSize;
-        int chunk = (bank + 1) * cfg.bankSize - slot;
-        if (chunk > regionLen - i)
-            chunk = regionLen - i;
-        if (bankValid[bank] == 0) {
-            // empty bank: every slot in the chunk is a hole
-            i += chunk;
-            slot += chunk;
-            if (slot == cfg.numEntries)
-                slot = 0;
-            continue;
-        }
-        for (int k = 0; k < chunk; k++, i++, slot = next(slot)) {
-            const Entry &e = slots[slot];
-            if (!e.valid)
-                continue;
-            unseen--;
-            if (e.ready1 && e.ready2)
-                out.push_back({slot, e.robIdx, i});
-        }
-    }
+    for (const int slot : readySlots)
+        out.push_back({slot, slots[slot].robIdx, distFromHead(slot)});
 }
 
 void
@@ -161,9 +166,12 @@ IssueQueue::markIssued(int slot)
     const int pending = (e.ready1 ? 0 : 1) + (e.ready2 ? 0 : 1);
     bankPending[bank] -= pending;
     pendingOps -= pending;
+    if (pending == 0)
+        readyRemove(slot); // only ready entries are in the set
     e.valid = false;
     e.robIdx = -1;
-    bankValid[bank]--;
+    if (--bankValid[bank] == 0)
+        poweredBankCount--;
     count--;
     events.issueReads++;
     if (slot == newHead)
@@ -196,15 +204,6 @@ IssueQueue::advanceNewHead()
         newHead = next(newHead);
         newRegionLen--;
     }
-}
-
-int
-IssueQueue::poweredBanks() const
-{
-    int n = 0;
-    for (int v : bankValid)
-        n += v > 0 ? 1 : 0;
-    return n;
 }
 
 void

@@ -107,7 +107,14 @@ class IssueQueue
         int distFromHead = 0;
     };
 
-    /** Ready entries oldest-first (core applies FU/width limits). */
+    /**
+     * Ready entries oldest-first (core applies FU/width limits).
+     * O(ready): the ready set is maintained incrementally — an entry
+     * enters when its last operand becomes ready (dispatch/wakeup)
+     * and leaves on markIssued — ordered by region position, which
+     * is invariant under head advancement, so the output is
+     * identical to a head-to-tail walk of the occupied region.
+     */
     void collectReady(std::vector<Candidate> &out) const;
 
     /** Remove an issued entry; advances head/new_head as needed. */
@@ -121,7 +128,10 @@ class IssueQueue
     int distNewHeadToTail() const { return newRegionLen; }
     int currentRange() const { return maxNewRange; }
     int numBanks() const { return nbanks; }
-    int poweredBanks() const;
+    /** Banks holding at least one valid entry. Maintained
+     *  incrementally on 0↔1 occupancy transitions — read every
+     *  cycle (tickStats) and per broadcast (wakeup). */
+    int poweredBanks() const { return poweredBankCount; }
     int headSlot() const { return head; }
     int tailSlot() const { return tail; }
     int newHeadSlot() const { return newHead; }
@@ -154,6 +164,18 @@ class IssueQueue
     void advanceHead();
     void advanceNewHead();
 
+    /** Circular slot distance from head — the `i` a head-to-tail
+     *  region walk would reach @p slot at (holes included). */
+    int
+    distFromHead(int slot) const
+    {
+        const int d = slot - head;
+        return d >= 0 ? d : d + cfg.numEntries;
+    }
+
+    void readyInsert(int slot);
+    void readyRemove(int slot);
+
     IqConfig cfg;
     int nbanks;
     std::vector<Entry> slots;
@@ -163,6 +185,23 @@ class IssueQueue
      *  early-out, without changing any event count. */
     std::vector<int> bankPending;
     int pendingOps = 0; ///< total non-ready operands (= sum of above)
+    int poweredBankCount = 0; ///< banks with bankValid > 0
+    /** Slots of valid entries with both operands ready, sorted by
+     *  region position (oldest first). Region-relative order of live
+     *  slots never changes (head only advances over issued slots),
+     *  so sortedness is preserved as head moves. */
+    std::vector<int> readySlots;
+    /**
+     * Per-tag wake-up index: waiters[tag] lists the pending operands
+     * (slot*2 + operandIdx) registered for that tag at dispatch, so
+     * a broadcast touches only its matches instead of walking every
+     * pending bank. Records can go stale (entry issued pending via
+     * the direct API, slot reused); wakeup() re-validates each
+     * against the live entry, and a pending operand re-registered in
+     * a reused slot just deduplicates. Drained (cleared) per
+     * broadcast — a physical tag broadcasts once before reuse.
+     */
+    std::vector<std::vector<int>> waiters;
     int head = 0;
     int tail = 0;
     int newHead = 0;

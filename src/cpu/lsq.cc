@@ -19,12 +19,18 @@ Lsq::allocate(bool isStore, std::uint64_t wordAddr, int robIdx)
     entries[idx] = {true, isStore, false, false, wordAddr, robIdx};
     tail = tail + 1 == cfg.numEntries ? 0 : tail + 1;
     count++;
+    if (isStore) {
+        numStores++;
+        pendingStores++;
+    }
     return idx;
 }
 
 bool
 Lsq::loadBlocked(int idx) const
 {
+    if (pendingStores == 0)
+        return false;
     // walk older entries (from idx back to head) looking for an
     // incomplete same-address store
     int cur = idx;
@@ -42,6 +48,8 @@ Lsq::loadBlocked(int idx) const
 bool
 Lsq::loadForwards(int idx) const
 {
+    if (numStores == 0)
+        return false;
     // the youngest older same-address store supplies the value
     int cur = idx;
     while (cur != head) {
@@ -58,7 +66,13 @@ Lsq::releaseHead(int idx)
 {
     SIQ_ASSERT(count > 0 && idx == head,
                "LSQ release out of order: ", idx, " vs head ", head);
-    entries[head].valid = false;
+    Entry &e = entries[head];
+    if (e.isStore) {
+        numStores--;
+        if (!e.completed)
+            pendingStores--;
+    }
+    e.valid = false;
     head = head + 1 == cfg.numEntries ? 0 : head + 1;
     count--;
 }

@@ -50,7 +50,15 @@ class Lsq
     bool loadForwards(int idx) const;
 
     void markIssued(int idx) { entries[idx].issued = true; }
-    void markCompleted(int idx) { entries[idx].completed = true; }
+
+    void
+    markCompleted(int idx)
+    {
+        Entry &e = entries[idx];
+        if (e.isStore && !e.completed)
+            pendingStores--;
+        e.completed = true;
+    }
 
     /** Release the oldest entry (commit order). */
     void releaseHead(int idx);
@@ -77,6 +85,12 @@ class Lsq
     int head = 0;
     int tail = 0;
     int count = 0;
+    /** Valid store entries / valid not-yet-completed store entries:
+     *  early-outs for the per-issue-candidate program-order walks
+     *  (no stores in flight → a load can neither block nor forward).
+     *  Pure shortcuts — walk results are unchanged. */
+    int numStores = 0;
+    int pendingStores = 0;
 };
 
 } // namespace siq

@@ -1,5 +1,7 @@
 #include "cpu/regfile.hh"
 
+#include <bit>
+
 namespace siq
 {
 
@@ -18,23 +20,41 @@ RegFile::RegFile(const RegFileConfig &config) : _config(config)
     for (int i = 0; i < config.numArch; i++) {
         mapTable[i] = i;
         readyBit[i] = true;
-        bankLive[i / config.bankSize]++;
+        if (bankLive[i / config.bankSize]++ == 0)
+            _poweredBanks++;
         _liveRegs++;
     }
-    for (int p = config.numArch; p < config.numPhys; p++)
-        freeList.push(p);
+    freeMask.assign((static_cast<std::size_t>(config.numPhys) + 63) /
+                        64,
+                    0);
+    for (int p = config.numArch; p < config.numPhys; p++) {
+        freeMask[static_cast<std::size_t>(p) / 64] |=
+            std::uint64_t{1} << (p % 64);
+        freeCount++;
+    }
 }
 
 std::pair<int, int>
 RegFile::rename(int archReg)
 {
-    SIQ_ASSERT(!freeList.empty(), "rename with empty free list");
-    const int fresh = freeList.top();
-    freeList.pop();
+    SIQ_ASSERT(freeCount > 0, "rename with empty free list");
+    // lowest free physical register — the min-heap allocation order,
+    // found by first-set-bit scan
+    int fresh = -1;
+    for (std::size_t w = 0; w < freeMask.size(); w++) {
+        if (freeMask[w] != 0) {
+            const int bit = std::countr_zero(freeMask[w]);
+            fresh = static_cast<int>(w) * 64 + bit;
+            freeMask[w] &= freeMask[w] - 1; // clear lowest set bit
+            freeCount--;
+            break;
+        }
+    }
     const int old = mapTable[archReg];
     mapTable[archReg] = fresh;
     readyBit[fresh] = false;
-    bankLive[fresh / _config.bankSize]++;
+    if (bankLive[fresh / _config.bankSize]++ == 0)
+        _poweredBanks++;
     _liveRegs++;
     return {fresh, old};
 }
@@ -44,20 +64,14 @@ RegFile::release(int phys)
 {
     SIQ_ASSERT(phys >= 0 && phys < _config.numPhys, "bad release");
     readyBit[phys] = false;
-    bankLive[phys / _config.bankSize]--;
-    SIQ_ASSERT(bankLive[phys / _config.bankSize] >= 0,
-               "bank liveness underflow");
+    const int bank = phys / _config.bankSize;
+    if (--bankLive[bank] == 0)
+        _poweredBanks--;
+    SIQ_ASSERT(bankLive[bank] >= 0, "bank liveness underflow");
     _liveRegs--;
-    freeList.push(phys);
-}
-
-int
-RegFile::poweredBanks() const
-{
-    int n = 0;
-    for (int live : bankLive)
-        n += live > 0 ? 1 : 0;
-    return n;
+    freeMask[static_cast<std::size_t>(phys) / 64] |=
+        std::uint64_t{1} << (phys % 64);
+    freeCount++;
 }
 
 } // namespace siq

@@ -3,18 +3,20 @@
  * Banked physical register file with renaming (Table 1: 112 entries
  * in 14 banks of 8, one file for integer and one for FP).
  *
- * The free list is a min-heap so allocation packs the lowest-numbered
- * banks; a bank with no live register is power-gated. This is the
- * bank-packing policy the paper's register-file savings rely on
- * ("by banking them we can turn off those banks that are not in
- * use").
+ * The free list is a bitmap allocated lowest-set-bit-first, so
+ * allocation packs the lowest-numbered banks; a bank with no live
+ * register is power-gated. This is the bank-packing policy the
+ * paper's register-file savings rely on ("by banking them we can
+ * turn off those banks that are not in use"). Lowest-free-first is
+ * exactly the order a min-heap free list produces, at O(1) per
+ * rename/release (two 64-bit words cover the Table-1 file) instead
+ * of O(log n) heap maintenance — renaming is on the dispatch path.
  */
 
 #ifndef SIQ_CPU_REGFILE_HH
 #define SIQ_CPU_REGFILE_HH
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/logging.hh"
@@ -36,7 +38,7 @@ class RegFile
   public:
     explicit RegFile(const RegFileConfig &config);
 
-    bool hasFree() const { return !freeList.empty(); }
+    bool hasFree() const { return freeCount > 0; }
 
     /**
      * Rename @p archReg to a fresh physical register.
@@ -59,7 +61,10 @@ class RegFile
     /// @{
     int numBanks() const { return _numBanks; }
     int liveRegs() const { return _liveRegs; }
-    int poweredBanks() const;
+    /** Banks holding at least one live register. Maintained
+     *  incrementally on 0↔1 liveness transitions — this is read
+     *  every cycle by the core's stats block. */
+    int poweredBanks() const { return _poweredBanks; }
     /// @}
 
     const RegFileConfig &config() const { return _config; }
@@ -70,9 +75,11 @@ class RegFile
     std::vector<int> mapTable;
     std::vector<bool> readyBit;
     std::vector<int> bankLive;
-    std::priority_queue<int, std::vector<int>, std::greater<>>
-        freeList;
+    /** Free-list bitmap: bit p set = phys reg p is free. */
+    std::vector<std::uint64_t> freeMask;
+    int freeCount = 0;
     int _liveRegs = 0;
+    int _poweredBanks = 0;
 };
 
 } // namespace siq

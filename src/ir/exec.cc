@@ -50,8 +50,10 @@ ExecContext::normalize()
 {
     while (!_halted) {
         const BasicBlock &blk = prog.procs[proc].blocks[block];
-        if (instIdx < static_cast<int>(blk.insts.size()))
+        if (instIdx < static_cast<int>(blk.insts.size())) {
+            curBlk = &blk;
             return;
+        }
         if (blk.fallthrough >= 0) {
             block = blk.fallthrough;
             instIdx = 0;
@@ -96,8 +98,7 @@ StepResult
 ExecContext::step()
 {
     SIQ_ASSERT(!_halted, "step() after halt");
-    const Procedure &pr = prog.procs[proc];
-    const BasicBlock &blk = pr.blocks[block];
+    const BasicBlock &blk = *curBlk;
     SIQ_ASSERT(instIdx < static_cast<int>(blk.insts.size()),
                "pc past end of block");
     const StaticInst &si = blk.insts[instIdx];

@@ -49,6 +49,18 @@ class ExecContext
     /** Execute the next instruction in program order. */
     StepResult step();
 
+    /**
+     * The instruction step() would execute next, without executing
+     * it. Only valid while !halted(); the fetch stage uses it to
+     * read the next PC without re-resolving (proc, block, instIdx)
+     * through three vector indirections.
+     */
+    const StaticInst &
+    peek() const
+    {
+        return curBlk->insts[static_cast<std::size_t>(instIdx)];
+    }
+
     bool halted() const { return _halted; }
     std::uint64_t instsExecuted() const { return _instsExecuted; }
 
@@ -85,6 +97,11 @@ class ExecContext
     void normalize();
 
     const Program &prog;
+    /** Cache of &prog.procs[proc].blocks[block], refreshed by
+     *  normalize() — the hot path reads the current block through
+     *  this instead of two vector indirections per step. Stale (and
+     *  unused) once halted. */
+    const BasicBlock *curBlk = nullptr;
     std::array<std::int64_t, numIntArchRegs> iregs{};
     std::array<double, numFpArchRegs> fregs{};
     std::vector<std::int64_t> mem;

@@ -80,6 +80,15 @@ constexpr std::array<OpTraits, numOpcodes> traitTable = {{
 
 } // namespace
 
+int
+maxOpcodeLatency()
+{
+    int m = 1;
+    for (const auto &t : traitTable)
+        m = m > t.latency ? m : t.latency;
+    return m;
+}
+
 const OpTraits &
 opTraits(Opcode op)
 {

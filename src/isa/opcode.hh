@@ -95,6 +95,10 @@ struct OpTraits
 /** Trait lookup; total over all opcodes. */
 const OpTraits &opTraits(Opcode op);
 
+/** Largest execution latency over all opcodes (cache adds more;
+ *  the core's completion wheel sizes its horizon from this). */
+int maxOpcodeLatency();
+
 /** True for any instruction that may redirect control flow. */
 bool isControl(Opcode op);
 

@@ -51,6 +51,9 @@ simulateProgram(const Program &prog, const TechniqueDef &def,
     if (def.controller)
         controller = def.controller(cfg);
 
+    // one Core construction per replica pays for all the tick loop's
+    // arenas; warm-up and measurement then run allocation-free
+    // (DESIGN.md §9) — resetStats() clears counters, not state
     Core core(prog, cfg.core, controller.get());
     if (cfg.warmupInsts > 0)
         core.run(cfg.warmupInsts);

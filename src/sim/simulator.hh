@@ -119,6 +119,12 @@ compilerConfigFor(Technique tech, const RunConfig &cfg);
  * technique's controller. This is the single simulation path shared
  * by serial runOne and the threaded sweep engine; the caller fills in
  * workload/compile metadata on the returned result.
+ *
+ * Cost model: constructing the Core allocates every arena the tick
+ * loop needs (ROB + dense per-entry arrays, completion wheel, fetch
+ * ring, scratch vectors — DESIGN.md §9); the warm-up and measurement
+ * runs then simulate without heap allocation, so per-replica cost is
+ * one construction plus budget-proportional simulation.
  */
 RunResult simulateProgram(const Program &prog, const TechniqueDef &def,
                           const RunConfig &cfg);

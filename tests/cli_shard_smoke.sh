@@ -19,8 +19,26 @@ cd "$WORK"
     --power-csv unsharded_power.csv
 
 "$SIQSIM" run --spec spec.json --shard 0/2 --ckpt ckpt
+
+# status on a half-run directory: exit 3, per-shard breakdown shows
+# shard 0 done and shard 1 missing
+set +e
+"$SIQSIM" status ckpt --shards 2 > status_partial.log
+rc=$?
+set -e
+test "$rc" -eq 3
+grep -q "checkpointed: 2/4" status_partial.log
+grep -q "shard 0/2: 2/2 done" status_partial.log
+grep -q "shard 1/2: 0/2 done" status_partial.log
+grep -q "missing cells:" status_partial.log
+
 "$SIQSIM" run --spec spec.json --shard 1/2 --ckpt ckpt \
     --json merged_inline.json
+
+# status on the complete directory: exit 0
+"$SIQSIM" status ckpt > status_done.log
+grep -q "checkpointed: 4/4" status_done.log
+grep -q "complete" status_done.log
 "$SIQSIM" merge ckpt --json merged.json --csv merged.csv \
     --power-csv merged_power.csv
 

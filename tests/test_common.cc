@@ -62,7 +62,8 @@ TEST(RunningStats, SingleSampleHasZeroSpread)
 
 TEST(RunningStats, MatchesClosedFormValues)
 {
-    // {1..5}: mean 3, sample variance 2.5, ci95 = 1.96*sqrt(2.5/5)
+    // {1..5}: mean 3, sample variance 2.5, and the small-sample CI
+    // uses the Student-t quantile t(0.975, df=4) = 2.776
     stats::RunningStats w;
     for (int i = 1; i <= 5; i++)
         w.sample(i);
@@ -70,7 +71,34 @@ TEST(RunningStats, MatchesClosedFormValues)
     EXPECT_DOUBLE_EQ(w.mean(), 3.0);
     EXPECT_NEAR(w.variance(), 2.5, 1e-12);
     EXPECT_NEAR(w.stddev(), std::sqrt(2.5), 1e-12);
-    EXPECT_NEAR(w.ci95(), 1.96 * std::sqrt(2.5 / 5.0), 1e-12);
+    EXPECT_NEAR(w.ci95(), 2.776 * std::sqrt(2.5 / 5.0), 1e-12);
+}
+
+TEST(RunningStats, CriticalValueUsesStudentTForSmallN)
+{
+    EXPECT_DOUBLE_EQ(stats::tCritical95(0), 0.0);
+    EXPECT_DOUBLE_EQ(stats::tCritical95(1), 0.0);
+    EXPECT_DOUBLE_EQ(stats::tCritical95(2), 12.706) << "df=1";
+    EXPECT_DOUBLE_EQ(stats::tCritical95(3), 4.303) << "df=2";
+    EXPECT_DOUBLE_EQ(stats::tCritical95(30), 2.045) << "df=29";
+    EXPECT_DOUBLE_EQ(stats::tCritical95(31), 1.96)
+        << "normal approximation beyond the table";
+    EXPECT_DOUBLE_EQ(stats::tCritical95(1000), 1.96);
+    // the quantile shrinks monotonically toward the normal value
+    for (std::uint64_t n = 2; n <= 31; n++)
+        EXPECT_GT(stats::tCritical95(n), stats::tCritical95(n + 1) - 1e-12)
+            << "n=" << n;
+}
+
+TEST(RunningStats, Ci95AtTwoSamplesReflectsWideTInterval)
+{
+    // n=2 is the common replication floor: the half-width must use
+    // t(0.975, 1) = 12.706, not 1.96 — a 6.5x wider (honest) interval
+    stats::RunningStats w;
+    w.sample(1.0);
+    w.sample(3.0);
+    // mean 2, sample variance 2, stddev sqrt(2)
+    EXPECT_NEAR(w.ci95(), 12.706 * std::sqrt(2.0 / 2.0), 1e-12);
 }
 
 TEST(RunningStats, ConstantSamplesHaveZeroVariance)

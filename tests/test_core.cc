@@ -273,5 +273,53 @@ TEST(Core, FunctionalMatchUnderManyConfigs)
     expectFunctionalMatch(prog, narrow);
 }
 
+TEST(CompletionWheel, PreservesSchedulingOrderWithinACycle)
+{
+    CompletionWheel w;
+    w.init(12);
+    std::vector<int> out;
+    w.schedule(3, 7);
+    w.schedule(3, 1);
+    w.schedule(5, 2);
+    w.popDue(2, out);
+    EXPECT_TRUE(out.empty());
+    w.popDue(3, out);
+    EXPECT_EQ(out, (std::vector<int>{7, 1}));
+    w.popDue(4, out);
+    EXPECT_TRUE(out.empty());
+    w.popDue(5, out);
+    EXPECT_EQ(out, (std::vector<int>{2}));
+}
+
+TEST(CompletionWheel, BeyondHorizonEventsPopOnTheRightLap)
+{
+    CompletionWheel w;
+    w.init(4); // bit_ceil(6) = 8 slots
+    ASSERT_EQ(w.numSlots(), 8);
+    std::vector<int> out;
+    // a near event and an event three laps out share slot 3
+    w.schedule(3, 11);
+    w.schedule(3 + 8 * 3, 9);
+    w.popDue(3, out);
+    EXPECT_EQ(out, (std::vector<int>{11}))
+        << "the far event must survive its slot's earlier laps";
+    for (std::uint64_t c = 4; c < 27; c++) {
+        w.popDue(c, out);
+        EXPECT_TRUE(out.empty()) << "cycle " << c;
+    }
+    w.popDue(27, out);
+    EXPECT_EQ(out, (std::vector<int>{9}));
+}
+
+TEST(CompletionWheel, LongLatencyConfigStillSimulatesCorrectly)
+{
+    // a memory latency far beyond the 4096-slot cap exercises the
+    // multi-lap path end-to-end: functional results must not change
+    Program prog = sumLoop(64);
+    CoreConfig cfg;
+    cfg.mem.memLatency = 9000;
+    expectFunctionalMatch(prog, cfg);
+}
+
 } // namespace
 } // namespace siq

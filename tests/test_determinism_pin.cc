@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Golden-fingerprint pin for the simulated behavior of the whole
+ * stack: the canonical sweep JSON for a small but full-coverage grid
+ * (every built-in technique × a cache-friendly and a memory-bound
+ * workload × 2 replica seeds) is hashed and compared against a
+ * checked-in digest.
+ *
+ * This is the guard rail for hot-path refactors of the core model:
+ * any change to architectural counters, event counts, seed mixing,
+ * aggregation or export formatting moves the digest. If a change is
+ * *supposed* to alter simulated behavior or the export schema,
+ * regenerate the digest by running this test and copying the
+ * "actual" value from the failure message into kGoldenDigest, and
+ * say so in the PR; a refactor that only claims to make the
+ * simulator faster must keep this test green untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/report.hh"
+#include "sim/sweep.hh"
+
+namespace siq
+{
+namespace
+{
+
+/** FNV-1a 64-bit over the canonical JSON bytes. */
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
+    return os.str();
+}
+
+/**
+ * The pinned grid. Budgets are tiny (the pin guards *behavior*, not
+ * statistics): 6 techniques × 2 benchmarks × 2 seeds at 2k+10k
+ * instructions simulates under a third of a million instructions.
+ */
+sim::SweepSpec
+pinnedSpec()
+{
+    sim::SweepSpec spec;
+    spec.benchmarks = {"gzip", "mcf"};
+    spec.techniques = {"baseline", "noop",   "extension",
+                       "improved", "abella", "folegnani"};
+    spec.base.workload.repDivisor = 40;
+    spec.base.warmupInsts = 2000;
+    spec.base.measureInsts = 10000;
+    spec.seeds = 2;
+    spec.jobs = 2;
+    return spec;
+}
+
+/** Generated at the pre-refactor commit of PR 4 (after the
+ *  Student-t ci95 change, before the event-wheel refactor). */
+constexpr std::uint64_t kGoldenDigest = 0x4039315e5bf964b3ull;
+
+TEST(DeterminismPin, CanonicalSweepJsonMatchesGoldenDigest)
+{
+    sim::ExperimentRunner runner;
+    sim::SweepResult result = runner.run(pinnedSpec());
+    sim::canonicalize(result);
+
+    std::ostringstream json;
+    sim::writeJson(json, result);
+    const std::uint64_t digest = fnv1a64(json.str());
+
+    EXPECT_EQ(digest, kGoldenDigest)
+        << "canonical sweep JSON changed: actual digest is "
+        << hex(digest) << " (golden " << hex(kGoldenDigest) << ").\n"
+        << "If this change intentionally alters simulated behavior "
+           "or the export schema, update kGoldenDigest and call it "
+           "out in the PR; a perf-only refactor must not get here.";
+}
+
+/** The digest is a pure function of the spec: a second run through a
+ *  fresh runner (fresh caches, different scheduling) must reproduce
+ *  it bit-for-bit — otherwise a digest mismatch above could be mere
+ *  nondeterminism instead of a behavior change. */
+TEST(DeterminismPin, DigestIsReproducibleAcrossRunnersAndJobs)
+{
+    auto spec = pinnedSpec();
+    sim::ExperimentRunner a;
+    sim::SweepResult ra = a.run(spec);
+    sim::canonicalize(ra);
+    std::ostringstream ja;
+    sim::writeJson(ja, ra);
+
+    spec.jobs = 1;
+    sim::ExperimentRunner b;
+    sim::SweepResult rb = b.run(spec);
+    sim::canonicalize(rb);
+    std::ostringstream jb;
+    sim::writeJson(jb, rb);
+
+    EXPECT_EQ(fnv1a64(ja.str()), fnv1a64(jb.str()));
+    EXPECT_EQ(ja.str(), jb.str());
+}
+
+} // namespace
+} // namespace siq
