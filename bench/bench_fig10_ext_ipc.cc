@@ -41,7 +41,7 @@ main()
         t.addRow({m.benches[i], Table::pct(ln), Table::pct(le),
                   Table::pct(li), Table::pct(la)});
     }
-    t.addRow({"SPECINT", Table::pct(bench::mean(n)),
+    t.addRow({bench::suiteLabel(m.benches), Table::pct(bench::mean(n)),
               Table::pct(bench::mean(e)),
               Table::pct(bench::mean(im)),
               Table::pct(bench::mean(a))});

@@ -40,7 +40,7 @@ main()
                   Table::pct(ci.iqDynamicSaving),
                   Table::pct(ci.iqStaticSaving)});
     }
-    t.addRow({"SPECINT", Table::pct(bench::mean(ed)),
+    t.addRow({bench::suiteLabel(m.benches), Table::pct(bench::mean(ed)),
               Table::pct(bench::mean(es)),
               Table::pct(bench::mean(id)),
               Table::pct(bench::mean(is))});

@@ -36,7 +36,7 @@ main()
                   Table::pct(ci.rfDynamicSaving),
                   Table::pct(ci.rfStaticSaving)});
     }
-    t.addRow({"SPECINT", Table::pct(bench::mean(ed)),
+    t.addRow({bench::suiteLabel(m.benches), Table::pct(bench::mean(ed)),
               Table::pct(bench::mean(es)),
               Table::pct(bench::mean(id)),
               Table::pct(bench::mean(is))});

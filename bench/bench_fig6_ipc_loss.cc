@@ -31,7 +31,7 @@ main()
         t.addRow({m.benches[i], Table::fmt(base.ipc(), 3),
                   Table::pct(n), Table::pct(a)});
     }
-    t.addRow({"SPECINT", "-", Table::pct(bench::mean(noopLoss)),
+    t.addRow({bench::suiteLabel(m.benches), "-", Table::pct(bench::mean(noopLoss)),
               Table::pct(bench::mean(abellaLoss))});
     t.print(std::cout);
     std::cout << "\npaper: SPECINT 2.2%, abella 3.1%\n";

@@ -30,7 +30,7 @@ main()
                   Table::fmt(noop.avgIqOccupancy(), 1),
                   Table::pct(reduction)});
     }
-    t.addRow({"SPECINT", "-", "-",
+    t.addRow({bench::suiteLabel(m.benches), "-", "-",
               Table::pct(bench::mean(reductions))});
     t.print(std::cout);
     std::cout << "\npaper: average 23% reduction\n";

@@ -44,7 +44,7 @@ main()
                   Table::pct(noop.iqBanksOffFraction()),
                   Table::pct(abella.iqBanksOffFraction())});
     }
-    t.addRow({"SPECINT", Table::pct(bench::mean(nd)),
+    t.addRow({bench::suiteLabel(m.benches), Table::pct(bench::mean(nd)),
               Table::pct(bench::mean(ns)),
               Table::pct(bench::mean(ad)),
               Table::pct(bench::mean(as)),

@@ -41,7 +41,7 @@ main()
                   Table::pct(ca.rfDynamicSaving),
                   Table::pct(ca.rfStaticSaving)});
     }
-    t.addRow({"SPECINT", Table::pct(bench::mean(nd)),
+    t.addRow({bench::suiteLabel(m.benches), Table::pct(bench::mean(nd)),
               Table::pct(bench::mean(ns)),
               Table::pct(bench::mean(ad)),
               Table::pct(bench::mean(as))});

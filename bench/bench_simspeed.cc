@@ -4,9 +4,9 @@
  *
  * `simspeed/<workload>` measures raw `Core::run` throughput
  * (simulated Minst per host second) for every registered workload
- * generator — the acceptance measurement for hot-path work on the
- * core model; the perf target of a core refactor is the geomean over
- * these eleven rates. `annotateOnly` isolates the compiler pass and
+ * family (default parameters) — the acceptance measurement for
+ * hot-path work on the core model; the perf target of a core
+ * refactor is the geomean over these per-family rates. `annotateOnly` isolates the compiler pass and
  * `sweepFig8Matrix` runs the figure-8 benchmark×technique matrix
  * through the experiment engine serially vs fanned out over the
  * worker pool (budgets scaled down so an iteration stays in the
@@ -32,6 +32,7 @@
 #include "cpu/core.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
+#include "workloads/family.hh"
 
 namespace
 {
@@ -184,7 +185,10 @@ writeThroughputJson(
 int
 main(int argc, char **argv)
 {
-    for (const auto &name : workloads::benchmarkNames()) {
+    // every registered family (the eleven SPECint profiles plus the
+    // parameterized families at their defaults) gets a simspeed/
+    // benchmark and a row in the SIQSIM_JSON throughput report
+    for (const auto &name : workloads::familyNames()) {
         benchmark::RegisterBenchmark(
             ("simspeed/" + name).c_str(),
             [name](benchmark::State &state) { simspeed(state, name); })

@@ -29,6 +29,7 @@
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "sim/technique.hh"
+#include "workloads/family.hh"
 
 namespace siq::bench
 {
@@ -50,6 +51,49 @@ defaultConfig()
     cfg.warmupInsts = envOr("SIQSIM_WARMUP", 120000);
     cfg.measureInsts = envOr("SIQSIM_MEASURE", 400000);
     return cfg;
+}
+
+/**
+ * The workload axis every figure bench sweeps, selected by the
+ * SIQSIM_WORKLOADS environment knob (docs/ENVIRONMENT.md):
+ * unset or "all" = every registered family (the paper's eleven plus
+ * the parameterized ones at their defaults), "specint" = the eleven
+ * paper benchmarks only, otherwise a comma-separated list of
+ * workload specs ("gzip,phased:period=60000"). Entries are validated
+ * and canonicalized through the family registry, so a typo fails
+ * here with the registered families listed.
+ */
+inline std::vector<std::string>
+suiteBenchmarks()
+{
+    const char *v = std::getenv("SIQSIM_WORKLOADS");
+    const std::string sel = v ? v : "all";
+    if (sel == "all")
+        return workloads::familyNames();
+    if (sel == "specint")
+        return workloads::benchmarkNames();
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : sel + ",") {
+        if (c != ',') {
+            cur += c;
+            continue;
+        }
+        if (!cur.empty())
+            out.push_back(workloads::canonicalWorkload(cur));
+        cur.clear();
+    }
+    if (out.empty())
+        fatal("SIQSIM_WORKLOADS is set but names no workloads");
+    return out;
+}
+
+/** Label of a suite-mean row: the paper's "SPECINT" bar when the
+ *  suite is exactly the eleven paper benchmarks, "MEAN" otherwise. */
+inline std::string
+suiteLabel(const std::vector<std::string> &benches)
+{
+    return benches == workloads::benchmarkNames() ? "SPECINT" : "MEAN";
 }
 
 /** One run per benchmark per technique, shared across figures. */
@@ -189,7 +233,7 @@ inline Matrix
 runMatrix(const std::vector<sim::Technique> &techniques)
 {
     sim::SweepSpec spec;
-    spec.benchmarks = workloads::benchmarkNames();
+    spec.benchmarks = suiteBenchmarks();
     for (auto tech : techniques)
         spec.techniques.push_back(sim::techniqueName(tech));
     spec.base = defaultConfig();

@@ -34,7 +34,7 @@
 #include "sim/report.hh"
 #include "sim/sweep.hh"
 #include "sim/technique.hh"
-#include "workloads/workloads.hh"
+#include "workloads/family.hh"
 
 namespace
 {
@@ -52,10 +52,16 @@ usage:
   siqsim run --spec FILE [options]  run a spec, whole or one shard
   siqsim merge DIR... [options]     fold checkpoint dirs into one matrix
   siqsim status DIR [--shards N]    cells done/missing in a run dir
-  siqsim list                       list benchmarks and techniques
+  siqsim list                       list workload families and techniques
 
 spec options (grid axes and budgets; all optional):
-  --benchmarks a,b,... | all   workloads to sweep (default: all 11)
+  --workloads a,b,... | all    workloads to sweep (default: every
+                               registered family). Entries are workload
+                               specs: a family name, optionally with
+                               parameter overrides —
+                               'phased:period=60000:duty=20'
+                               ('siqsim list' shows families + params;
+                               --benchmarks is accepted as an alias)
   --techniques a,b,... | all   techniques to sweep (default: all built-ins)
   --warmup N / --measure N     per-cell instruction budgets
   --seeds N                    replicas per cell (0 = SIQSIM_SEEDS, 1 = off)
@@ -246,12 +252,25 @@ int
 cmdSpec(Args args)
 {
     sim::SweepSpec spec;
-    spec.benchmarks = workloads::benchmarkNames();
+    spec.benchmarks = workloads::familyNames();
     spec.techniques = sim::techniqueNames();
-    if (auto v = args.option("benchmarks"); v && *v != "all")
-        spec.benchmarks = splitList(*v);
+    // --workloads is the primary spelling; --benchmarks is kept as a
+    // compatibility alias (both accept workload specs, not just names)
+    auto workloadsOpt = args.option("workloads");
+    auto benchmarksOpt = args.option("benchmarks");
+    if (workloadsOpt && benchmarksOpt)
+        fatal("siqsim: --workloads and --benchmarks are aliases; "
+              "pass only one");
+    if (!workloadsOpt)
+        workloadsOpt = benchmarksOpt;
+    if (workloadsOpt && *workloadsOpt != "all")
+        spec.benchmarks = splitList(*workloadsOpt);
     if (auto v = args.option("techniques"); v && *v != "all")
         spec.techniques = splitList(*v);
+    // canonicalize and validate now, so a typo fails here with the
+    // registered families listed instead of deep inside a run
+    for (auto &b : spec.benchmarks)
+        b = workloads::canonicalWorkload(b);
     for (const auto &t : spec.techniques) {
         if (sim::findTechnique(t) == nullptr)
             fatal("siqsim: unknown technique '", t, "' (try 'siqsim "
@@ -468,9 +487,19 @@ cmdStatus(Args args)
 int
 cmdList()
 {
-    std::cout << "benchmarks:\n";
-    for (const auto &b : workloads::benchmarkNames())
-        std::cout << "  " << b << "\n";
+    std::cout << "workload families:\n";
+    for (const auto &name : workloads::familyNames()) {
+        const auto *def = workloads::findFamily(name);
+        std::cout << "  " << name << " — "
+                  << (def ? def->summary : std::string()) << "\n";
+        if (def == nullptr)
+            continue;
+        for (const auto &p : def->params) {
+            std::cout << "      " << p.name << "=" << p.defaultValue
+                      << " [" << p.minValue << ".." << p.maxValue
+                      << "] — " << p.help << "\n";
+        }
+    }
     std::cout << "techniques:\n";
     for (const auto &t : sim::techniqueNames()) {
         const auto *def = sim::findTechnique(t);

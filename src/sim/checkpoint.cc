@@ -10,6 +10,7 @@
 #include <system_error>
 
 #include "common/logging.hh"
+#include "workloads/family.hh"
 
 namespace siq::sim
 {
@@ -305,10 +306,16 @@ mergeCheckpoints(const std::vector<fs::path> &dirs)
 }
 
 ShardRunOutcome
-runWithCheckpoints(ExperimentRunner &runner, const SweepSpec &spec,
+runWithCheckpoints(ExperimentRunner &runner, const SweepSpec &spec_,
                    const ShardPlan &shard, const fs::path &dir)
 {
     validateShard(shard);
+    // spec.json, checkpoint file names and the engine's cell labels
+    // must all use one spelling per workload: pin the canonical form
+    // before anything touches the run directory
+    SweepSpec spec = spec_;
+    for (auto &b : spec.benchmarks)
+        b = workloads::canonicalWorkload(b);
     initRunDir(dir, spec);
 
     ShardRunOutcome outcome;

@@ -12,6 +12,7 @@
 
 #include "common/logging.hh"
 #include "sim/technique.hh"
+#include "workloads/family.hh"
 
 namespace siq::sim
 {
@@ -973,12 +974,59 @@ runConfigFromJson(const JsonValue &v)
 
 } // namespace
 
+namespace
+{
+
+/** One benchmark-axis entry: the structured WorkloadSpec form.
+ *  "params" is present only when overrides exist, so parameterless
+ *  families stay minimal. Validates (and canonicalizes) through the
+ *  family registry. */
+void
+appendWorkloadSpecJson(std::ostream &os, const std::string &text)
+{
+    const auto spec = workloads::WorkloadSpec::parse(text);
+    os << "{\"family\":" << quote(spec.family);
+    if (!spec.params.empty()) {
+        os << ",\"params\":{";
+        const char *sep = "";
+        for (const auto &[name, value] : spec.params) {
+            os << sep << quote(name) << ":" << value;
+            sep = ",";
+        }
+        os << "}";
+    }
+    os << "}";
+}
+
+/** Accepts both the structured object form and (for hand-written
+ *  specs) a plain string; returns the canonical spec string. */
+std::string
+workloadSpecFromJson(const JsonValue &v)
+{
+    if (v.kind == JsonValue::Kind::String)
+        return workloads::canonicalWorkload(v.asString());
+    std::string text = v.at("family").asString();
+    if (const JsonValue *params = v.find("params")) {
+        for (const auto &[name, value] : params->object) {
+            if (value.kind != JsonValue::Kind::Number)
+                fatal("spec JSON: workload parameter '", name,
+                      "' must be an integer");
+            text += ':' + name + '=' + value.token;
+        }
+    }
+    return workloads::canonicalWorkload(text);
+}
+
+} // namespace
+
 void
 writeSpecJson(std::ostream &os, const SweepSpec &spec)
 {
     os << "{\"benchmarks\":[";
-    for (std::size_t i = 0; i < spec.benchmarks.size(); i++)
-        os << (i ? "," : "") << quote(spec.benchmarks[i]);
+    for (std::size_t i = 0; i < spec.benchmarks.size(); i++) {
+        os << (i ? "," : "");
+        appendWorkloadSpecJson(os, spec.benchmarks[i]);
+    }
     os << "],\"techniques\":[";
     for (std::size_t i = 0; i < spec.techniques.size(); i++)
         os << (i ? "," : "") << quote(spec.techniques[i]);
@@ -1005,7 +1053,7 @@ readSpecJson(std::istream &is)
 
     SweepSpec spec;
     for (const auto &b : root.at("benchmarks").array)
-        spec.benchmarks.push_back(b.asString());
+        spec.benchmarks.push_back(workloadSpecFromJson(b));
     for (const auto &t : root.at("techniques").array)
         spec.techniques.push_back(t.asString());
     spec.jobs = root.at("jobs").asInt();

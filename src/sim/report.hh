@@ -80,6 +80,13 @@ void writePowerCsv(std::ostream &os, const SweepResult &result,
  * machine configuration (IQ/LSQ/register files/FUs/branch predictor/
  * memory hierarchy), and both adaptive-comparator configs.
  *
+ * Each benchmark-axis entry is emitted as a structured WorkloadSpec
+ * object — `{"family": "phased", "params": {"period": 60000}}`, the
+ * "params" key elided for parameterless workloads — validated and
+ * canonicalized through the family registry (workloads/family.hh,
+ * DESIGN.md §10). readSpecJson also accepts plain string entries
+ * ("phased:period=60000") in hand-written specs.
+ *
  * Two fields do not serialize, by design: `base.tech` (sweeps ignore
  * it — the technique axis decides what runs) and the `perCell`
  * override (a function; specs that need per-cell overrides are bound

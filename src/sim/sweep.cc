@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "sim/report.hh"
 #include "sim/technique.hh"
+#include "workloads/family.hh"
 
 namespace siq::sim
 {
@@ -279,7 +280,13 @@ ExperimentRunner::run(const SweepSpec &spec, const CellHooks &hooks)
     const auto t0 = std::chrono::steady_clock::now();
 
     SweepResult result;
-    result.benchmarks = spec.benchmarks;
+    // canonicalize every workload up front: unknown families fail
+    // fast (with the registered list in the message), and cells,
+    // cache keys and exports all carry the one canonical spelling —
+    // the invariant the byte-identical shard-merge guarantee keys on
+    result.benchmarks.reserve(spec.benchmarks.size());
+    for (const auto &b : spec.benchmarks)
+        result.benchmarks.push_back(workloads::canonicalWorkload(b));
     result.techniques = spec.techniques;
 
     // resolve every technique up front so unknown names fail fast,
@@ -355,7 +362,7 @@ ExperimentRunner::run(const SweepSpec &spec, const CellHooks &hooks)
         key.techIdx = cellIdx / nb;
         key.benchIdx = cellIdx % nb;
         key.rep = rep;
-        key.benchmark = spec.benchmarks[key.benchIdx];
+        key.benchmark = result.benchmarks[key.benchIdx];
         key.technique = spec.techniques[key.techIdx];
         return key;
     };

@@ -70,7 +70,15 @@ struct CellKey
 /** A declarative experiment matrix. */
 struct SweepSpec
 {
-    /** Workloads to run (workloads::benchmarkNames() order usual). */
+    /**
+     * Workloads to run: workload spec strings — plain family names
+     * ("gzip", workloads::benchmarkNames() order usual) or
+     * parameterized ones ("phased:period=60000"), resolved through
+     * the family registry (workloads/family.hh). The engine
+     * canonicalizes each entry up front (fatal on unknown families,
+     * listing the registered ones), and the canonical form is what
+     * cells, cache keys and exports carry.
+     */
     std::vector<std::string> benchmarks;
     /** Registry technique names (built-ins or registered variants). */
     std::vector<std::string> techniques;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * specfp family: SPECfp-profile long floating-point loop nests in the
+ * style of swim/art/equake — `streams` independent array streams per
+ * iteration with regular `stride` walks, a `depth`-long dependent fp
+ * chain per element, and counted (perfectly predictable) loop control.
+ * High ILP at wide/shallow settings, fp-latency-bound at deep ones;
+ * either way the IQ demand is steady, the opposite of `phased`.
+ *
+ * Parameters (family.cc): streams (ILP width), depth (dependent chain
+ * length), stride (words between accesses).
+ */
+
+#include "workloads/detail.hh"
+#include "workloads/family.hh"
+
+namespace siq::workloads
+{
+
+Program
+genSpecfp(const WorkloadParams &params, const FamilyParams &fp)
+{
+    const std::int64_t streams = fp.at("streams"); // 1..8
+    const std::int64_t depth = fp.at("depth");     // 1..8
+    const std::int64_t stride = fp.at("stride");   // 1..64
+    constexpr std::int64_t elems = 4096;
+
+    // data image sized to the parameters: one strided source and one
+    // dense destination array per stream
+    const std::uint64_t words =
+        64 + static_cast<std::uint64_t>(streams) *
+                 static_cast<std::uint64_t>(elems * (stride + 1)) +
+        1024;
+    ProgramBuilder b("specfp", words);
+
+    std::vector<std::uint64_t> src(static_cast<std::size_t>(streams));
+    std::vector<std::uint64_t> dst(static_cast<std::size_t>(streams));
+    for (std::int64_t s = 0; s < streams; s++) {
+        src[static_cast<std::size_t>(s)] =
+            b.alloc(static_cast<std::uint64_t>(elems * stride));
+        dst[static_cast<std::size_t>(s)] =
+            b.alloc(static_cast<std::uint64_t>(elems));
+        // small masked values bit-cast to tiny doubles (as twolf's
+        // penalty table does): pure dataflow, no control effect
+        detail::emitFillArray(b, src[static_cast<std::size_t>(s)],
+                              elems * stride, 0xffff,
+                              params.seed + 7919 *
+                                  static_cast<std::uint64_t>(s + 1));
+    }
+
+    b.newProc("main");
+
+    // fp registers: per-stream accumulator and chain temporary, plus
+    // one shared gain constant
+    const int fGain = fpRegBase + 1;
+    auto fAcc = [](std::int64_t s) {
+        return fpRegBase + 2 + static_cast<int>(s);
+    };
+    auto fTmp = [](std::int64_t s) {
+        return fpRegBase + 10 + static_cast<int>(s);
+    };
+    b.emit(makeFMovImm(fGain, 3));
+    for (std::int64_t s = 0; s < streams; s++)
+        b.emit(makeFMovImm(fAcc(s), 0));
+
+    // int registers: per-stream source/destination cursors
+    auto rSrc = [](std::int64_t s) { return 8 + static_cast<int>(s); };
+    auto rDst = [](std::int64_t s) { return 16 + static_cast<int>(s); };
+
+    b.emit(makeMovImm(21, 0));
+    b.emit(makeMovImm(20, params.reps(24)));
+    auto rep = b.beginLoop(21, 20);
+
+    for (std::int64_t s = 0; s < streams; s++) {
+        b.emit(makeMovImm(
+            rSrc(s),
+            static_cast<std::int64_t>(src[static_cast<std::size_t>(s)])));
+        b.emit(makeMovImm(
+            rDst(s),
+            static_cast<std::int64_t>(dst[static_cast<std::size_t>(s)])));
+    }
+
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, elems));
+    auto sweep = b.beginLoop(1, 2);
+    for (std::int64_t s = 0; s < streams; s++) {
+        // load, run the dependent chain, accumulate, store back —
+        // streams are mutually independent, so the achievable ILP
+        // scales with `streams` while `depth` sets the critical path
+        b.emit(makeFLoad(fTmp(s), rSrc(s), 0));
+        for (std::int64_t d = 0; d < depth; d++) {
+            if (d % 2 == 0)
+                b.emit(makeFMul(fTmp(s), fTmp(s), fGain));
+            else
+                b.emit(makeFAdd(fTmp(s), fTmp(s), fGain));
+        }
+        b.emit(makeFAdd(fAcc(s), fAcc(s), fTmp(s)));
+        b.emit(makeFStore(rDst(s), fTmp(s), 0));
+        b.emit(makeAddImm(rSrc(s), rSrc(s), stride));
+        b.emit(makeAddImm(rDst(s), rDst(s), 1));
+    }
+    b.endLoop(sweep);
+
+    b.endLoop(rep);
+
+    // fold the per-stream accumulators and publish the checksum
+    for (std::int64_t s = 1; s < streams; s++)
+        b.emit(makeFAdd(fAcc(0), fAcc(0), fAcc(s)));
+    b.emit(makeMovImm(5, 8));
+    b.emit(makeFStore(5, fAcc(0), 0));
+    b.emit(makeHalt());
+    return b.build();
+}
+
+} // namespace siq::workloads

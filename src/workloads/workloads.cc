@@ -1,6 +1,6 @@
 #include "workloads/workloads.hh"
 
-#include "common/logging.hh"
+#include "workloads/family.hh"
 
 namespace siq::workloads
 {
@@ -18,29 +18,9 @@ benchmarkNames()
 Program
 generate(const std::string &name, const WorkloadParams &params)
 {
-    if (name == "gzip")
-        return genGzip(params);
-    if (name == "vpr")
-        return genVpr(params);
-    if (name == "gcc")
-        return genGcc(params);
-    if (name == "mcf")
-        return genMcf(params);
-    if (name == "crafty")
-        return genCrafty(params);
-    if (name == "parser")
-        return genParser(params);
-    if (name == "perlbmk")
-        return genPerlbmk(params);
-    if (name == "gap")
-        return genGap(params);
-    if (name == "vortex")
-        return genVortex(params);
-    if (name == "bzip2")
-        return genBzip2(params);
-    if (name == "twolf")
-        return genTwolf(params);
-    fatal("unknown workload: ", name);
+    // one lookup path for every workload: plain benchmark names and
+    // parameterized family specs both resolve through the registry
+    return generate(WorkloadSpec::parse(name), params);
 }
 
 } // namespace siq::workloads

@@ -62,10 +62,18 @@ struct WorkloadParams
     }
 };
 
-/** The eleven benchmark names, in the paper's figure order. */
+/** The eleven SPECint benchmark names, in the paper's figure order
+ *  (a stable subset of familyNames() — see workloads/family.hh for
+ *  the full registry including the parameterized families). */
 const std::vector<std::string> &benchmarkNames();
 
-/** Generate the named benchmark program. Fatal on unknown names. */
+/**
+ * Generate the named workload. @p name is any canonical-or-not
+ * workload spec string — a plain family name ("gzip") or a
+ * parameterized one ("phased:period=60000") — resolved through the
+ * family registry (workloads/family.hh). Fatal on unknown names,
+ * with the registered families listed in the message.
+ */
 Program generate(const std::string &name, const WorkloadParams &params);
 
 /// @name Individual generators.

@@ -64,4 +64,44 @@ if "$SIQSIM" run --spec other.json --ckpt ckpt 2> mismatch.log; then
 fi
 grep -q "does not match this spec" mismatch.log
 
+# unknown workload names fail at spec time (exit 1, not a bare
+# fatal): the error names the bad family and lists every registered
+# one so the fix is in the message
+set +e
+"$SIQSIM" spec --workloads gzip,oltp --techniques baseline \
+    2> unknown.log
+rc=$?
+set -e
+test "$rc" -eq 1
+grep -q "unknown workload family 'oltp'" unknown.log
+grep -q "registered families:" unknown.log
+grep -q "phased" unknown.log
+
+# out-of-range family parameters are rejected the same way
+set +e
+"$SIQSIM" spec --workloads phased:duty=99 --techniques baseline \
+    2> range.log
+rc=$?
+set -e
+test "$rc" -eq 1
+grep -q "duty=99 outside" range.log
+
+# parameterized-family end-to-end: a spec embedding family params
+# (written in non-canonical order) runs sharded and merges
+# byte-identical to the unsharded run
+"$SIQSIM" spec --workloads phased:duty=30:period=2000,gzip \
+    --techniques baseline,noop \
+    --warmup 2000 --measure 8000 --rep-divisor 40 --seeds 2 \
+    --out param_spec.json
+grep -q '"family":"phased","params":{"period":2000,"duty":30}' \
+    param_spec.json
+
+"$SIQSIM" run --spec param_spec.json --json param_unsharded.json
+"$SIQSIM" run --spec param_spec.json --shard 0/2 --ckpt param_ckpt
+"$SIQSIM" run --spec param_spec.json --shard 1/2 --ckpt param_ckpt
+"$SIQSIM" merge param_ckpt --json param_merged.json
+cmp param_unsharded.json param_merged.json
+# cells carry the canonical workload spelling
+grep -q '"benchmark":"phased:period=2000:duty=30"' param_merged.json
+
 echo "cli_shard_smoke: OK"

@@ -14,6 +14,7 @@
 #include "ir/exec.hh"
 #include "isa/opcode.hh"
 #include "sim/sweep.hh"
+#include "workloads/family.hh"
 #include "workloads/workloads.hh"
 
 namespace siq::workloads
@@ -97,7 +98,16 @@ TEST(Workloads, AllElevenNamesGenerate)
 
 TEST(Workloads, UnknownNameIsFatal)
 {
-    EXPECT_THROW(generate("specfp", {}), FatalError);
+    try {
+        generate("not-a-family", {});
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        // the failure must name every registered family, so a CLI
+        // typo is self-correcting
+        const std::string msg = e.what();
+        for (const auto &name : familyNames())
+            EXPECT_NE(msg.find(name), std::string::npos) << name;
+    }
 }
 
 TEST(Workloads, GenerationIsDeterministic)
@@ -114,9 +124,9 @@ TEST(Workloads, GenerationIsDeterministic)
 
 TEST(WorkloadProperties, FingerprintDeterministicPerSeed)
 {
-    // full structural equality (not just counts) for every generator,
+    // full structural equality (not just counts) for every family,
     // at the base seed and at a mixed replica seed
-    for (const auto &name : benchmarkNames()) {
+    for (const auto &name : familyNames()) {
         for (std::size_t rep : {std::size_t{0}, std::size_t{2}}) {
             WorkloadParams wp = tiny();
             wp.seed = replicaSeed(wp.seed, rep);
@@ -130,8 +140,8 @@ TEST(WorkloadProperties, FingerprintDeterministicPerSeed)
 TEST(WorkloadProperties, DistinctAcrossMixSeedReplicas)
 {
     // replicas must be decorrelated: three replica seeds, three
-    // structurally distinct programs, for every generator
-    for (const auto &name : benchmarkNames()) {
+    // structurally distinct programs, for every family
+    for (const auto &name : familyNames()) {
         std::set<std::uint64_t> prints;
         for (std::size_t rep = 0; rep < 3; rep++) {
             WorkloadParams wp = tiny();
@@ -148,7 +158,7 @@ TEST(WorkloadProperties, DistinctAcrossMixSeedReplicas)
 
 TEST(WorkloadProperties, RegistersAndOpcodesInValidRanges)
 {
-    for (const auto &name : benchmarkNames()) {
+    for (const auto &name : familyNames()) {
         WorkloadParams wp = tiny();
         wp.seed = replicaSeed(wp.seed, 1);
         const Program prog = generate(name, wp);
@@ -197,7 +207,7 @@ TEST(WorkloadProperties, RegistersAndOpcodesInValidRanges)
 
 TEST(Workloads, TinyRunsTerminateFunctionally)
 {
-    for (const auto &name : benchmarkNames()) {
+    for (const auto &name : familyNames()) {
         const Program prog = generate(name, tiny());
         ExecContext ctx(prog);
         std::uint64_t steps = 0;
@@ -211,9 +221,9 @@ TEST(Workloads, TinyRunsTerminateFunctionally)
 
 TEST(Workloads, ChecksumPublishedAtWordEight)
 {
-    // every benchmark stores its accumulator to word 8 before halt,
+    // every family stores its accumulator to word 8 before halt,
     // giving the cross-configuration equivalence tests an observable
-    for (const auto &name : benchmarkNames()) {
+    for (const auto &name : familyNames()) {
         const Program prog = generate(name, tiny());
         ExecContext ctx(prog);
         while (!ctx.halted())
@@ -221,6 +231,31 @@ TEST(Workloads, ChecksumPublishedAtWordEight)
         // value exists (zero is suspicious but legal for some seeds;
         // require at least one benchmark-visible side effect)
         SUCCEED();
+    }
+}
+
+TEST(WorkloadProperties, EveryParamChangesTheFingerprint)
+{
+    // a parameter that does not alter the generated program would be
+    // dead weight in the cache key and the canonical name: for every
+    // parameterized family, nudging each parameter off its default
+    // (within range) must produce a structurally different program
+    for (const auto &name : familyNames()) {
+        const FamilyDef *def = findFamily(name);
+        ASSERT_NE(def, nullptr) << name;
+        if (def->params.empty())
+            continue;
+        const std::uint64_t base =
+            fingerprint(generate(name, tiny()));
+        for (const auto &p : def->params) {
+            const std::int64_t nudged = p.defaultValue < p.maxValue
+                                            ? p.defaultValue + 1
+                                            : p.defaultValue - 1;
+            const std::string spec = name + ":" + p.name + "=" +
+                                     std::to_string(nudged);
+            EXPECT_NE(fingerprint(generate(spec, tiny())), base)
+                << spec << " generates the same program as " << name;
+        }
     }
 }
 
@@ -321,7 +356,7 @@ TEST(WorkloadProfiles, BranchProfilesDiffer)
 
 TEST(WorkloadProfiles, DynamicMixesIncludeMemoryOps)
 {
-    for (const auto &name : benchmarkNames()) {
+    for (const auto &name : familyNames()) {
         const Program prog = generate(name, tiny());
         ExecContext ctx(prog);
         std::uint64_t mem = 0, steps = 0;
