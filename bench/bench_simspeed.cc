@@ -32,6 +32,7 @@
 #include "cpu/core.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
+#include "sim/technique.hh"
 #include "workloads/family.hh"
 
 namespace
@@ -106,6 +107,48 @@ BENCHMARK(sweepFig8Matrix)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+/**
+ * The trace-replay payoff case (DESIGN.md §11): every registered
+ * technique × 2 seeds over four benchmarks, serial. With tracing on
+ * (the default) each distinct program is interpreted once into a
+ * functional trace and every other cell replays it; with
+ * SIQSIM_TRACE=0 every cell re-interprets from scratch. The ratio
+ * of the two rates is the headline speedup of the trace subsystem.
+ * The env var is read at runner construction, so setting it inside
+ * the loop (fresh runner per iteration) is race-free; it is restored
+ * to unset afterwards so later benchmarks see the default.
+ */
+void
+sweepAllTechniques(benchmark::State &state, bool traceOn)
+{
+    setenv("SIQSIM_TRACE", traceOn ? "1" : "0", 1);
+    sim::SweepSpec spec;
+    spec.benchmarks = {"gzip", "mcf", "crafty", "specfp"};
+    spec.techniques = sim::techniqueNames();
+    spec.base.workload.repDivisor = 8;
+    spec.base.warmupInsts = 10000;
+    spec.base.measureInsts = 50000;
+    spec.seeds = 2;
+    spec.jobs = 1;
+
+    std::uint64_t cells = 0;
+    for (auto _ : state) {
+        sim::ExperimentRunner runner;
+        const auto sweep = runner.run(spec);
+        cells += sweep.cells.size();
+        benchmark::DoNotOptimize(sweep.cells.front().stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+    state.counters["techniques"] =
+        static_cast<double>(spec.techniques.size());
+    unsetenv("SIQSIM_TRACE");
+}
+
+BENCHMARK_CAPTURE(sweepAllTechniques, replay, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(sweepAllTechniques, interpret, false)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * Console reporter that additionally captures the simspeed

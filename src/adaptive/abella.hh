@@ -56,6 +56,12 @@ class AbellaResizer : public IqLimitController
     int iqLimit() const override { return limit; }
     int robLimit() const override;
 
+    std::uint64_t
+    decisionHorizon() const override
+    {
+        return cfg.intervalCycles - cycleInInterval;
+    }
+
   private:
     AbellaConfig cfg;
     int limit;

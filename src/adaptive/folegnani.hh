@@ -45,6 +45,12 @@ class FolegnaniResizer : public IqLimitController
     int iqLimit() const override { return limit; }
     int robLimit() const override { return 1 << 30; }
 
+    std::uint64_t
+    decisionHorizon() const override
+    {
+        return cfg.intervalCycles - cycleInInterval;
+    }
+
   private:
     FolegnaniConfig cfg;
     int limit;

@@ -51,7 +51,8 @@ usage:
   siqsim spec [options]             print a sweep-spec JSON
   siqsim run --spec FILE [options]  run a spec, whole or one shard
   siqsim merge DIR... [options]     fold checkpoint dirs into one matrix
-  siqsim status DIR [--shards N]    cells done/missing in a run dir
+  siqsim status DIR [--shards N] [--cache]
+                                    cells done/missing in a run dir
   siqsim list                       list workload families and techniques
 
 spec options (grid axes and budgets; all optional):
@@ -93,6 +94,9 @@ status options:
   --shards N                   additionally break the report down by
                                the N-way shard partition cells were
                                (or will be) run under
+  --cache                      also print the workload/compile/trace
+                               cache counters each 'run' invocation
+                               recorded in the run directory
   exit status: 0 when every cell is checkpointed, 3 when cells are
   still missing (distinct from 1, a usage/IO error)
 
@@ -127,6 +131,19 @@ class Args
             return value;
         }
         return std::nullopt;
+    }
+
+    /** Consume a bare `--name` flag; false when absent. */
+    bool
+    flag(const std::string &name)
+    {
+        for (std::size_t i = 0; i < tokens.size(); i++) {
+            if (tokens[i] != "--" + name)
+                continue;
+            tokens.erase(tokens.begin() + static_cast<long>(i));
+            return true;
+        }
+        return false;
     }
 
     /** Whatever is left (positional arguments); flags left over are
@@ -208,6 +225,24 @@ writeOut(const std::string &path,
     if (!os)
         fatal("siqsim: cannot write '", path, "'");
     std::cerr << "wrote " << path << "\n";
+}
+
+/** One-line cache-counter summary: the `siqsim run` stderr line and
+ *  the `status --cache` per-file lines share this format. */
+std::string
+cacheSummary(const sim::SweepCacheStats &c)
+{
+    std::ostringstream os;
+    os << "workloads " << c.workloadHits << "/"
+       << c.workloadBuilds + c.workloadHits << " hits, compile "
+       << c.compileHits << "/" << c.compileBuilds + c.compileHits
+       << " hits, traces " << c.traceHits << "/"
+       << c.traceBuilds + c.traceHits << " hits";
+    if (c.traceBuilds + c.traceHits > 0) {
+        os << " (" << (c.traceBytes >> 20) << " MiB resident, "
+           << c.traceEvicted << " evicted)";
+    }
+    return os.str();
 }
 
 /** The canonical exports shared by `run` and `merge`. */
@@ -354,17 +389,23 @@ cmdRun(Args args)
         auto result = runner.run(spec);
         std::cerr << "done: " << result.cells.size() << " cells in "
                   << result.wallSeconds << "s on " << result.jobsUsed
-                  << " thread(s)\n";
+                  << " thread(s)\n"
+                  << "caches: " << cacheSummary(result.cache) << "\n";
         exports.emit(std::move(result));
         return 0;
     }
 
     const auto outcome =
         sim::runWithCheckpoints(runner, spec, shard, *ckptDir);
+    // publish this invocation's counters beside the checkpoints so
+    // 'siqsim status --cache' can report them later
+    sim::writeCacheStatsFile(*ckptDir, shard, runner.cacheStats());
     std::cerr << "shard " << sim::toString(shard) << ": owns "
               << outcome.cellsOwned << "/" << outcome.cellsTotal
               << " cells, resumed " << outcome.cellsResumed
-              << ", simulated " << outcome.cellsRun << "\n";
+              << ", simulated " << outcome.cellsRun << "\n"
+              << "caches: " << cacheSummary(runner.cacheStats())
+              << "\n";
     if (!outcome.complete) {
         std::cerr << "run directory incomplete: run the remaining "
                      "shards, then 'siqsim merge "
@@ -412,6 +453,7 @@ int
 cmdStatus(Args args)
 {
     const auto shardsOpt = args.option("shards");
+    const bool showCache = args.flag("cache");
     std::vector<std::string> dirs = args.rest();
     if (dirs.size() != 1)
         fatal("siqsim status: exactly one run directory is required");
@@ -458,6 +500,16 @@ cmdStatus(Args args)
                       << (ownedDone == owned ? "" : " — incomplete")
                       << "\n";
         }
+    }
+
+    if (showCache) {
+        const auto stats = sim::readCacheStatsFiles(dir);
+        if (stats.empty()) {
+            std::cout << "cache stats: none recorded (written by "
+                         "'siqsim run --ckpt')\n";
+        }
+        for (const auto &[name, c] : stats)
+            std::cout << name << ": " << cacheSummary(c) << "\n";
     }
 
     if (done < have.size()) {

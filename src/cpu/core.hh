@@ -31,6 +31,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "cpu/bpred.hh"
@@ -38,6 +39,7 @@
 #include "cpu/lsq.hh"
 #include "cpu/regfile.hh"
 #include "cpu/resize.hh"
+#include "cpu/trace.hh"
 #include "ir/exec.hh"
 #include "ir/program.hh"
 #include "mem/cache.hh"
@@ -183,6 +185,7 @@ class CompletionWheel
     schedule(std::uint64_t cycle, int robIdx)
     {
         slots[cycle & mask].push_back({cycle, robIdx});
+        inFlight++;
     }
 
     /** Move the ROB index of every event due at @p now into @p out
@@ -190,6 +193,17 @@ class CompletionWheel
     void popDue(std::uint64_t now, std::vector<int> &out);
 
     int numSlots() const { return static_cast<int>(slots.size()); }
+
+    bool empty() const { return inFlight == 0; }
+
+    /**
+     * Earliest due cycle of any in-flight event (all are >= @p now:
+     * events are scheduled in the future and popped exactly on their
+     * cycle). Returns ~0 when the wheel is empty. O(slots + events);
+     * only called by the idle fast-forward, never on the per-cycle
+     * path.
+     */
+    std::uint64_t nextDue(std::uint64_t now) const;
 
   private:
     struct Event
@@ -200,6 +214,7 @@ class CompletionWheel
 
     std::vector<std::vector<Event>> slots;
     std::uint64_t mask = 0;
+    std::uint64_t inFlight = 0;
 };
 
 /// @name RobHot flag bits.
@@ -242,13 +257,20 @@ class Core
      * @param controller optional hardware resize heuristic (owned by
      *        the caller; pass nullptr for the baseline and the
      *        compiler-hint configurations)
+     * @param trace optional functional trace of an identical program
+     *        (equal contentHash). When given, the fetch stage replays
+     *        trace records instead of stepping the interpreter — no
+     *        functional register file or memory image is built, every
+     *        architectural counter stays byte-identical, and exec()
+     *        must not be called. The trace must outlive the core.
      */
     Core(const Program &prog, const CoreConfig &config,
-         IqLimitController *controller = nullptr);
+         IqLimitController *controller = nullptr,
+         FuncTrace *trace = nullptr);
 
     /** The core keeps a reference: the program must outlive it. */
     Core(Program &&, const CoreConfig &,
-         IqLimitController * = nullptr) = delete;
+         IqLimitController * = nullptr, FuncTrace * = nullptr) = delete;
 
     /**
      * Run until the program halts or @p maxInsts more instructions
@@ -271,7 +293,9 @@ class Core
     const RegFile &fpRegFile() const { return fpRegs; }
     MemHierarchy &memory() { return mem; }
     Bpred &bpred() { return _bpred; }
-    const ExecContext &exec() const { return _exec; }
+    /** The interpreter's architectural state. Interpreting cores
+     *  only — a replaying core has none. */
+    const ExecContext &exec() const { return *_exec; }
     std::uint64_t cycle() const { return now; }
 
   private:
@@ -281,9 +305,29 @@ class Core
     void dispatchStage();
     void fetchStage();
 
-    std::uint64_t pcOfCurrent() const;
-    std::uint64_t blockStartPc(int proc, int block) const;
-    void predictControl(DynInst &di);
+    /**
+     * Idle fast-forward (DESIGN.md §12): when no stage can act at the
+     * current cycle, jump straight to the earliest cycle at which one
+     * can — batching the per-cycle statistics and the one dispatch
+     * stall counter the skipped cycles would have accumulated, and
+     * ticking the resize controller through them — instead of
+     * walking every stage through each dead cycle. Every
+     * architectural counter stays byte-identical to the
+     * cycle-by-cycle run (tests/test_determinism_pin.cc). No-op
+     * unless idleness is structurally proven.
+     */
+    void maybeFastForward();
+
+    /** The functional stream is exhausted (interpreter halted, or the
+     *  replay cursor consumed the halt record). */
+    bool
+    streamHalted() const
+    {
+        return replay != nullptr ? replayHalted : _exec->halted();
+    }
+
+    void predictControl(DynInst &di, std::uint64_t actualNextPc,
+                        std::uint64_t rasPushPc);
     int sourceHandle(int archReg, bool &ready) const;
     /** Units of @p fu still held by non-pipelined ops; the pruned
      *  count is memoized per cycle (prunes once, not per issue
@@ -305,7 +349,14 @@ class Core
     CoreConfig cfg;
     IqLimitController *ctrl;
 
-    ExecContext _exec;
+    /** Functional source: the interpreter (direct mode) or a trace
+     *  cursor (replay mode); exactly one is active. */
+    std::optional<ExecContext> _exec;
+    FuncTrace *replay;
+    TraceCursor replayCur;
+    std::uint64_t replayIdx = 0;
+    bool replayHalted = false;
+
     MemHierarchy mem;
     Bpred _bpred;
     IssueQueue iq;

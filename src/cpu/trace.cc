@@ -1,0 +1,113 @@
+#include "cpu/trace.hh"
+
+#include <chrono>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace siq
+{
+
+CtrlTargets
+ctrlTargets(const Program &prog, const StepResult &sr)
+{
+    CtrlTargets ct;
+    if (!sr.halted) {
+        ct.actualNextPc =
+            prog.procs[sr.nextProc]
+                .blocks[sr.nextBlock]
+                .insts[static_cast<std::size_t>(sr.nextInstIdx)]
+                .pc;
+    }
+    if (sr.inst->op == Opcode::Call) {
+        const BasicBlock &callBlock =
+            prog.procs[sr.proc].blocks[sr.block];
+        ct.rasPushPc = blockStartPc(prog, sr.proc,
+                                    callBlock.fallthrough);
+    }
+    return ct;
+}
+
+FuncTrace::FuncTrace(std::shared_ptr<const Program> prog)
+    : _prog(std::move(prog)), exec(*_prog)
+{
+}
+
+FuncTrace::Window
+FuncTrace::window(std::uint64_t idx)
+{
+    std::lock_guard lock(mu);
+    if (idx >= produced)
+        produceTo(idx);
+    Window w;
+    w.begin = (idx / chunkRecords) * chunkRecords;
+    w.end = std::min(w.begin + chunkRecords, produced);
+    w.base = chunks[idx / chunkRecords].get();
+    return w;
+}
+
+void
+FuncTrace::produceTo(std::uint64_t idx)
+{
+    SIQ_ASSERT(!exec.halted(),
+               "trace record ", idx, " requested past the halt record "
+               "(", produced, " produced)");
+    const auto t0 = std::chrono::steady_clock::now();
+    // batch to the end of the target chunk: the request amortizes
+    // the lock and the interpreter's cache warm-up over ~chunkRecords
+    // steps instead of paying them per fetch group
+    const std::uint64_t target =
+        (idx / chunkRecords + 1) * chunkRecords;
+    while (produced < target && !exec.halted()) {
+        if (produced % chunkRecords == 0) {
+            chunks.push_back(
+                std::make_unique<TraceRecord[]>(chunkRecords));
+            _bytes.fetch_add(chunkRecords * sizeof(TraceRecord),
+                             std::memory_order_relaxed);
+        }
+        const StepResult sr = exec.step();
+        const CtrlTargets ct = ctrlTargets(*_prog, sr);
+        SIQ_ASSERT(ct.actualNextPc <=
+                   std::numeric_limits<std::uint32_t>::max(),
+                   "program PCs exceed the trace record's 32-bit "
+                   "next-PC field");
+        TraceRecord &rec =
+            chunks[produced / chunkRecords][produced % chunkRecords];
+        rec.si = sr.inst;
+        rec.nextPc = static_cast<std::uint32_t>(ct.actualNextPc);
+        const auto &t = sr.inst->traits();
+        if (t.isLoad || t.isStore)
+            rec.aux = sr.memAddr;
+        else if (sr.inst->op == Opcode::Call)
+            rec.aux = ct.rasPushPc;
+        else
+            rec.aux = 0;
+        rec.flags = static_cast<std::uint8_t>(
+            (sr.taken ? traceFlagTaken : 0) |
+            (sr.halted ? traceFlagHalted : 0));
+        produced++;
+    }
+    SIQ_ASSERT(produced > idx,
+               "trace record ", idx, " requested past the halt record "
+               "(", produced, " produced)");
+    _produceSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+}
+
+double
+FuncTrace::produceSeconds() const
+{
+    std::lock_guard lock(mu);
+    return _produceSeconds;
+}
+
+std::uint64_t
+FuncTrace::producedRecords() const
+{
+    std::lock_guard lock(mu);
+    return produced;
+}
+
+} // namespace siq

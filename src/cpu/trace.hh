@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Functional execution traces: run the interpreter once, replay the
+ * resulting instruction stream under any number of timing
+ * configurations (DESIGN.md §11).
+ *
+ * The core's execute-at-fetch model makes this exact: every fetched
+ * instruction is functionally executed at fetch, so fetch order
+ * equals functional order and the whole dynamic stream is a pure
+ * function of the program alone — independent of IQ sizing, resize
+ * controllers, cache parameters or branch predictor state. A
+ * FuncTrace records, per fetched instruction, everything the timing
+ * model consumes from the interpreter (the static instruction, the
+ * branch outcome, the effective address, the resolved next PC and
+ * the return-address-stack push value), in fixed-width 24-byte
+ * records held in chunked arena storage. Replaying a trace through
+ * Core::fetchStage reproduces every architectural counter
+ * byte-for-byte while skipping opcode dispatch and functional memory
+ * entirely.
+ *
+ * Traces grow lazily: a replaying core's cursor requests records by
+ * index, and the producer steps the interpreter just far enough to
+ * cover the request (in chunk-sized batches). Lazy growth removes the
+ * instruction budget from the trace identity — timing configurations
+ * with deeper fetch-ahead (bigger ROB / fetch queue) simply extend
+ * the shared trace — so the cache key is the program's content hash
+ * alone. Production is serialized by an internal mutex; published
+ * records are immutable, so concurrent replayers of one trace only
+ * contend when they cross a chunk boundary or outrun the frontier.
+ */
+
+#ifndef SIQ_CPU_TRACE_HH
+#define SIQ_CPU_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ir/exec.hh"
+#include "ir/program.hh"
+
+namespace siq
+{
+
+/// @name TraceRecord flag bits.
+/// @{
+constexpr std::uint8_t traceFlagTaken = 1 << 0;  ///< StepResult::taken
+constexpr std::uint8_t traceFlagHalted = 1 << 1; ///< program ended here
+/// @}
+
+/**
+ * One fetched instruction of the functional stream. `aux` is the
+ * word-granular effective address for loads/stores and the
+ * return-address-stack push PC for calls (an instruction is never
+ * both); `nextPc` is the PC of the next instruction in program order
+ * after control resolution (0 once halted) — the value the front-end
+ * compares branch-target-buffer predictions against.
+ */
+struct TraceRecord
+{
+    const StaticInst *si = nullptr;
+    std::uint64_t aux = 0;
+    std::uint32_t nextPc = 0;
+    std::uint8_t flags = 0;
+};
+
+static_assert(sizeof(TraceRecord) == 24,
+              "trace records are meant to be compact");
+
+/**
+ * The control-prediction inputs derived from one step of the
+ * interpreter. Both the live (interpreting) fetch path and the trace
+ * producer compute them through this one function, so a replayed
+ * front-end sees bit-identical prediction inputs by construction.
+ */
+struct CtrlTargets
+{
+    std::uint64_t actualNextPc = 0; ///< 0 when the program halted
+    std::uint64_t rasPushPc = 0;    ///< Call only: return-site PC
+};
+
+CtrlTargets ctrlTargets(const Program &prog, const StepResult &sr);
+
+/**
+ * A lazily produced, append-only functional trace of one program.
+ * Thread-safe: any number of cursors may replay while one of them
+ * extends the frontier. Keeps the program alive — records point at
+ * its StaticInsts.
+ */
+class FuncTrace
+{
+  public:
+    /** Records per arena chunk (192 KiB chunks). */
+    static constexpr std::uint64_t chunkRecords = 8192;
+
+    explicit FuncTrace(std::shared_ptr<const Program> prog);
+
+    /** A published, immutable span of the trace (half-open record
+     *  index range [begin, end) backed by one chunk). */
+    struct Window
+    {
+        const TraceRecord *base = nullptr;
+        std::uint64_t begin = 0;
+        std::uint64_t end = 0;
+    };
+
+    /**
+     * The window containing record @p idx, producing up to it first
+     * if needed (blocking). The caller must not request records past
+     * the halt record — mirroring the interpreter, where step() after
+     * halt is a contract violation.
+     */
+    Window window(std::uint64_t idx);
+
+    const Program &program() const { return *_prog; }
+    std::shared_ptr<const Program> programPtr() const { return _prog; }
+
+    /** Arena bytes allocated so far (cache accounting). */
+    std::uint64_t
+    bytes() const
+    {
+        return _bytes.load(std::memory_order_relaxed);
+    }
+
+    /** Wall-clock seconds spent producing records so far. */
+    double produceSeconds() const;
+
+    /** Records published so far (monotonic). */
+    std::uint64_t producedRecords() const;
+
+  private:
+    /** Extend the frontier to cover @p idx, batching to chunk ends;
+     *  `mu` must be held. */
+    void produceTo(std::uint64_t idx);
+
+    std::shared_ptr<const Program> _prog;
+    ExecContext exec;
+    std::vector<std::unique_ptr<TraceRecord[]>> chunks;
+    std::uint64_t produced = 0;
+    double _produceSeconds = 0.0;
+    std::atomic<std::uint64_t> _bytes{0};
+    mutable std::mutex mu;
+};
+
+/**
+ * A replaying core's read cursor: caches the current window so the
+ * per-record fast path is a bounds check and an indexed load, only
+ * calling back into the (mutex-guarded) trace at chunk boundaries or
+ * when outrunning the production frontier.
+ */
+class TraceCursor
+{
+  public:
+    TraceCursor() = default;
+    explicit TraceCursor(FuncTrace *t) : trace(t) {}
+
+    const TraceRecord &
+    at(std::uint64_t idx)
+    {
+        if (idx < win.begin || idx >= win.end)
+            win = trace->window(idx);
+        return win.base[idx - win.begin];
+    }
+
+  private:
+    FuncTrace *trace = nullptr;
+    FuncTrace::Window win{};
+};
+
+} // namespace siq
+
+#endif // SIQ_CPU_TRACE_HH

@@ -7,6 +7,87 @@
 namespace siq
 {
 
+namespace
+{
+
+/** Incremental FNV-1a 64-bit hasher for the content fingerprint. */
+class Fnv
+{
+  public:
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    std::uint64_t value() const { return h; }
+
+  private:
+    std::uint64_t h = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t
+hashContent(const Program &prog)
+{
+    Fnv f;
+    f.mix(static_cast<std::uint64_t>(prog.entryProc));
+    f.mix(prog.memWords);
+    f.mix(prog.memInit.size());
+    for (const auto &[addr, value] : prog.memInit) {
+        f.mix(addr);
+        f.mix(static_cast<std::uint64_t>(value));
+    }
+    f.mix(prog.procs.size());
+    for (const auto &proc : prog.procs) {
+        f.mix(proc.blocks.size());
+        for (const auto &block : proc.blocks) {
+            f.mix(static_cast<std::uint64_t>(block.fallthrough));
+            f.mix(block.indirectTargets.size());
+            for (const int t : block.indirectTargets)
+                f.mix(static_cast<std::uint64_t>(t));
+            f.mix(block.insts.size());
+            for (const StaticInst &si : block.insts) {
+                f.mix(static_cast<std::uint64_t>(si.op));
+                f.mix(static_cast<std::uint64_t>(
+                          static_cast<std::uint16_t>(si.dst)) |
+                      static_cast<std::uint64_t>(
+                          static_cast<std::uint16_t>(si.src1))
+                          << 16 |
+                      static_cast<std::uint64_t>(
+                          static_cast<std::uint16_t>(si.src2))
+                          << 32 |
+                      static_cast<std::uint64_t>(si.hintValue) << 48);
+                f.mix(static_cast<std::uint64_t>(si.imm));
+                f.mix(static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(si.target)) |
+                      static_cast<std::uint64_t>(si.tagHint) << 32);
+            }
+        }
+    }
+    return f.value();
+}
+
+} // namespace
+
+std::uint64_t
+blockStartPc(const Program &prog, int proc, int block)
+{
+    // resolve through empty fallthrough blocks exactly like the
+    // functional normalize() so RAS predictions compare equal
+    int b = block;
+    while (true) {
+        const BasicBlock &blk = prog.procs[proc].blocks[b];
+        if (!blk.insts.empty())
+            return blk.insts.front().pc;
+        if (blk.fallthrough < 0)
+            return 0;
+        b = blk.fallthrough;
+    }
+}
+
 void
 Program::finalize()
 {
@@ -24,6 +105,8 @@ Program::finalize()
         // page-align procedures so PCs stay distinctive
         pc = (pc + 0xFFF) & ~0xFFFull;
     }
+
+    contentHash = hashContent(*this);
 
     for (auto &proc : procs) {
         const int nblocks = static_cast<int>(proc.blocks.size());

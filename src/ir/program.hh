@@ -82,9 +82,21 @@ struct Program
     std::vector<std::pair<std::uint64_t, std::int64_t>> memInit;
 
     /**
-     * Assign PCs, build CFG successor/predecessor lists and validate
-     * structural invariants. Must be called after construction and
-     * after any instruction insertion (e.g. hint NOOPs).
+     * Content fingerprint (FNV-1a 64 over every field that affects
+     * execution: instructions, block structure, entry point, memory
+     * size and image), filled by finalize(). Two Program objects with
+     * equal hashes execute identically instruction for instruction —
+     * the key the sweep engine's functional-trace cache shares traces
+     * under, across techniques whose annotation was a no-op and across
+     * ablation cells that only vary microarchitectural knobs.
+     */
+    std::uint64_t contentHash = 0;
+
+    /**
+     * Assign PCs, build CFG successor/predecessor lists, compute
+     * contentHash and validate structural invariants. Must be called
+     * after construction and after any instruction insertion (e.g.
+     * hint NOOPs).
      */
     void finalize();
 
@@ -100,6 +112,16 @@ struct Program
   private:
     void validate() const;
 };
+
+/**
+ * PC of the first instruction executed when control enters
+ * (@p proc, @p block), resolving through empty fallthrough-only
+ * blocks exactly like the functional interpreter's normalize(); 0
+ * when the chain ends without an instruction. Shared by the core's
+ * return-address-stack prediction and the functional trace producer
+ * so their RAS push values can never drift apart.
+ */
+std::uint64_t blockStartPc(const Program &prog, int proc, int block);
 
 } // namespace siq
 

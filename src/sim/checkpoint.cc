@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstdio>
@@ -213,6 +214,42 @@ scanCheckpoints(const fs::path &dir, const SweepSpec &spec)
     for (std::size_t i = 0; i < ncells; i++)
         have[i] = fs::exists(cellsDir(dir) / checkpointFileName(spec, i));
     return have;
+}
+
+void
+writeCacheStatsFile(const fs::path &dir, const ShardPlan &shard,
+                    const SweepCacheStats &stats)
+{
+    validateShard(shard);
+    std::ostringstream name;
+    if (shard.count > 1) {
+        name << "cache_shard_" << shard.index << "_of_" << shard.count
+             << ".json";
+    } else {
+        name << "cache.json";
+    }
+    atomicWrite(dir / name.str(), toJson(stats) + "\n");
+}
+
+std::vector<std::pair<std::string, SweepCacheStats>>
+readCacheStatsFiles(const fs::path &dir)
+{
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("cache", 0) == 0 && name.size() >= 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0) {
+            names.push_back(name);
+        }
+    }
+    std::sort(names.begin(), names.end());
+
+    std::vector<std::pair<std::string, SweepCacheStats>> out;
+    for (const std::string &name : names)
+        out.emplace_back(name, cacheStatsFromJson(readFile(dir / name)));
+    return out;
 }
 
 SweepResult

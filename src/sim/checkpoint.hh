@@ -95,6 +95,22 @@ std::vector<bool> scanCheckpoints(const std::filesystem::path &dir,
                                   const SweepSpec &spec);
 
 /**
+ * Atomically publish one invocation's cache counters into the run
+ * directory as `cache.json` (unsharded) or `cache_shard_<i>_of_<n>`
+ * `.json` — each shard process has its own caches, so per-shard
+ * files never collide in a shared directory. Informational only:
+ * merge and resume never read them; `siqsim status --cache` does.
+ */
+void writeCacheStatsFile(const std::filesystem::path &dir,
+                         const ShardPlan &shard,
+                         const SweepCacheStats &stats);
+
+/** The cache-stats files present in @p dir, as (label, counters)
+ *  pairs in sorted filename order; empty when none were written. */
+std::vector<std::pair<std::string, SweepCacheStats>>
+readCacheStatsFiles(const std::filesystem::path &dir);
+
+/**
  * Fold one or more run directories (all initialized from the same
  * spec — verified byte-exactly) back into the full matrix. Every
  * cell of the spec must be checkpointed in exactly one directory, or

@@ -371,6 +371,13 @@ appendCellJson(std::ostream &os, const RunResult &r)
        << ",\"technique\":" << quote(r.technique)
        << ",\"family\":" << quote(techniqueName(r.tech))
        << ",\"generateSeconds\":" << fmtDouble(r.generateSeconds);
+    // wall-clock metadata added after the v5 schema: emitted only
+    // when nonzero so canonicalize()d output (which zeroes them)
+    // keeps its historical bytes — the determinism pin digests those
+    if (r.traceSeconds != 0.0)
+        os << ",\"traceSeconds\":" << fmtDouble(r.traceSeconds);
+    if (r.compileSeconds != 0.0)
+        os << ",\"compileSeconds\":" << fmtDouble(r.compileSeconds);
     os << ",\"stats\":{";
     const char *sep = "";
 #define X(f)                                                             \
@@ -408,6 +415,12 @@ cellFromJson(const JsonValue &v)
         fatal("report JSON: unknown technique family '", family, "'");
     r.tech = *tech;
     r.generateSeconds = v.at("generateSeconds").asDouble();
+    // optional (nonzero-only) keys — absent in pre-v6 and canonical
+    // output, same schema-evolution pattern as the "seeds" key
+    if (const JsonValue *ts = v.find("traceSeconds"))
+        r.traceSeconds = ts->asDouble();
+    if (const JsonValue *cs = v.find("compileSeconds"))
+        r.compileSeconds = cs->asDouble();
     const JsonValue &stats = v.at("stats");
     const JsonValue &iq = v.at("iq");
     const JsonValue &compile = v.at("compile");
@@ -423,6 +436,10 @@ cellFromJson(const JsonValue &v)
     SIQ_COMPILE_STATS_FIELDS(X)
 #undef X
     r.compile.seconds = compile.at("seconds").asDouble();
+    // pre-v6 exports carry annotation time only inside the compile
+    // block; mirror it so macro-driven CSV re-export stays lossless
+    if (r.compileSeconds == 0.0)
+        r.compileSeconds = r.compile.seconds;
     return r;
 }
 
@@ -526,8 +543,19 @@ writeJson(std::ostream &os, const SweepResult &result)
        << result.cache.workloadBuilds
        << ",\"workloadHits\":" << result.cache.workloadHits
        << ",\"compileBuilds\":" << result.cache.compileBuilds
-       << ",\"compileHits\":" << result.cache.compileHits
-       << "}";
+       << ",\"compileHits\":" << result.cache.compileHits;
+    // trace-cache counters (nonzero only with tracing on; all zeroed
+    // by canonicalize()) stay out of the historical cache schema so
+    // canonical bytes — and the determinism-pin digest — don't move
+    if (result.cache.traceBuilds != 0 || result.cache.traceHits != 0 ||
+        result.cache.traceEvicted != 0 ||
+        result.cache.traceBytes != 0) {
+        os << ",\"traceBuilds\":" << result.cache.traceBuilds
+           << ",\"traceHits\":" << result.cache.traceHits
+           << ",\"traceEvicted\":" << result.cache.traceEvicted
+           << ",\"traceBytes\":" << result.cache.traceBytes;
+    }
+    os << "}";
     // replication block only when aggregates exist, so seeds == 1
     // output (and the empty matrix) keeps the unreplicated schema and
     // always reads back
@@ -574,6 +602,12 @@ readJson(std::istream &is)
     result.cache.workloadHits = cache.at("workloadHits").asU64();
     result.cache.compileBuilds = cache.at("compileBuilds").asU64();
     result.cache.compileHits = cache.at("compileHits").asU64();
+    if (const JsonValue *tb = cache.find("traceBuilds")) {
+        result.cache.traceBuilds = tb->asU64();
+        result.cache.traceHits = cache.at("traceHits").asU64();
+        result.cache.traceEvicted = cache.at("traceEvicted").asU64();
+        result.cache.traceBytes = cache.at("traceBytes").asU64();
+    }
     for (const auto &cell : root.at("cells").array)
         result.cells.push_back(cellFromJson(cell));
     if (const JsonValue *seeds = root.find("seeds")) {
@@ -605,7 +639,10 @@ void
 writeCsv(std::ostream &os, const SweepResult &result)
 {
     const bool agg = !result.aggregates.empty();
-    os << "benchmark,technique,family,generateSeconds,compileSeconds";
+    os << "benchmark,technique,family";
+#define X(f) os << "," #f;
+    SIQ_RUN_TIMING_FIELDS(X)
+#undef X
 #define X(f) os << ",stats_" #f;
     SIQ_CORE_STATS_FIELDS(X)
 #undef X
@@ -631,9 +668,10 @@ writeCsv(std::ostream &os, const SweepResult &result)
     for (std::size_t i = 0; i < result.cells.size(); i++) {
         const RunResult &r = result.cells[i];
         os << r.benchmark << ',' << r.technique << ','
-           << techniqueName(r.tech) << ','
-           << fmtDouble(r.generateSeconds) << ','
-           << fmtDouble(r.compile.seconds);
+           << techniqueName(r.tech);
+#define X(f) os << ',' << fmtDouble(r.f);
+        SIQ_RUN_TIMING_FIELDS(X)
+#undef X
 #define X(f) os << ',' << r.stats.f;
         SIQ_CORE_STATS_FIELDS(X)
 #undef X
@@ -719,7 +757,11 @@ readCsv(std::istream &is)
                   "'");
         r.tech = *tech;
         r.generateSeconds = dbl("generateSeconds");
-        r.compile.seconds = dbl("compileSeconds");
+        // optional: pre-v6 CSVs predate trace replay
+        if (col.find("traceSeconds") != col.end())
+            r.traceSeconds = dbl("traceSeconds");
+        r.compileSeconds = dbl("compileSeconds");
+        r.compile.seconds = r.compileSeconds;
 #define X(f) r.stats.f = u64("stats_" #f);
         SIQ_CORE_STATS_FIELDS(X)
 #undef X
@@ -1098,6 +1140,37 @@ cellCheckpointFromJson(const std::string &text)
     return ckpt;
 }
 
+std::string
+toJson(const SweepCacheStats &cache)
+{
+    std::ostringstream os;
+    os << "{\"workloadBuilds\":" << cache.workloadBuilds
+       << ",\"workloadHits\":" << cache.workloadHits
+       << ",\"compileBuilds\":" << cache.compileBuilds
+       << ",\"compileHits\":" << cache.compileHits
+       << ",\"traceBuilds\":" << cache.traceBuilds
+       << ",\"traceHits\":" << cache.traceHits
+       << ",\"traceEvicted\":" << cache.traceEvicted
+       << ",\"traceBytes\":" << cache.traceBytes << "}";
+    return os.str();
+}
+
+SweepCacheStats
+cacheStatsFromJson(const std::string &text)
+{
+    const JsonValue root = JsonParser(text).parse();
+    SweepCacheStats s;
+    s.workloadBuilds = root.at("workloadBuilds").asU64();
+    s.workloadHits = root.at("workloadHits").asU64();
+    s.compileBuilds = root.at("compileBuilds").asU64();
+    s.compileHits = root.at("compileHits").asU64();
+    s.traceBuilds = root.at("traceBuilds").asU64();
+    s.traceHits = root.at("traceHits").asU64();
+    s.traceEvicted = root.at("traceEvicted").asU64();
+    s.traceBytes = root.at("traceBytes").asU64();
+    return s;
+}
+
 void
 canonicalize(SweepResult &result)
 {
@@ -1105,7 +1178,9 @@ canonicalize(SweepResult &result)
     result.wallSeconds = 0.0;
     result.cache = SweepCacheStats{};
     for (auto &cell : result.cells) {
-        cell.generateSeconds = 0.0;
+#define X(f) cell.f = 0.0;
+        SIQ_RUN_TIMING_FIELDS(X)
+#undef X
         cell.compile.seconds = 0.0;
     }
 }

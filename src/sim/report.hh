@@ -130,12 +130,21 @@ std::string toJson(const CellCheckpoint &ckpt);
 /** Parse toJson(CellCheckpoint) output; fatal on malformed input. */
 CellCheckpoint cellCheckpointFromJson(const std::string &text);
 
+/** Serialize cache counters (the `siqsim run` cache.json payload;
+ *  always carries every counter, unlike the sweep export's
+ *  schema-frozen cache block). */
+std::string toJson(const SweepCacheStats &cache);
+
+/** Parse toJson(SweepCacheStats) output; fatal on malformed input. */
+SweepCacheStats cacheStatsFromJson(const std::string &text);
+
 /// @}
 
 /**
  * Zero every scheduling / wall-clock / cache-accounting field of a
  * result (jobsUsed, wallSeconds, cache counters, per-cell
- * generateSeconds and compile.seconds), leaving only measurements.
+ * generateSeconds, traceSeconds, compileSeconds and compile.seconds),
+ * leaving only measurements.
  * Two runs of the same spec — serial or threaded, sharded or not,
  * resumed or not — canonicalize to byte-identical exports; this is
  * the form `siqsim run` and `siqsim merge` emit (DESIGN.md §8.3).

@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "sim/report.hh"
 #include "sim/technique.hh"
+#include "sim/trace_cache.hh"
 #include "workloads/family.hh"
 
 namespace siq::sim
@@ -122,6 +123,31 @@ class ProgramCache
         map;
 };
 
+/** SIQSIM_TRACE toggles trace replay; default on, "0" disables. */
+bool
+traceEnabledFromEnv()
+{
+    const char *v = std::getenv("SIQSIM_TRACE");
+    return v == nullptr || std::string(v) != "0";
+}
+
+/** SIQSIM_TRACE_CACHE_MB caps the trace cache; default 512, 0 =
+ *  unbounded. */
+std::uint64_t
+traceCapBytesFromEnv()
+{
+    const char *v = std::getenv("SIQSIM_TRACE_CACHE_MB");
+    if (v == nullptr)
+        return 512ull << 20;
+    char *end = nullptr;
+    errno = 0;
+    const long long n = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || n < 0)
+        fatal("SIQSIM_TRACE_CACHE_MB must be a non-negative integer, "
+              "got '", v, "'");
+    return static_cast<std::uint64_t>(n) << 20;
+}
+
 /** SIQSIM_SEEDS for specs that defer (seeds == 0); default 1. */
 int
 seedsFromEnv()
@@ -183,6 +209,8 @@ struct ExperimentRunner::Impl
     int defaultJobs;
     ProgramCache workloads;
     ProgramCache compiled;
+    /** Null when SIQSIM_TRACE=0 (cells interpret directly). */
+    std::unique_ptr<TraceCache> traces;
     std::atomic<std::uint64_t> workloadBuilds{0};
     std::atomic<std::uint64_t> workloadHits{0};
     std::atomic<std::uint64_t> compileBuilds{0};
@@ -231,10 +259,22 @@ ExperimentRunner::Impl::runCell(const CellKey &key,
         }
     }
 
-    RunResult result = simulateProgram(*toRun.prog, def, cfg);
+    RunResult result;
+    if (traces != nullptr) {
+        const std::shared_ptr<FuncTrace> trace = traces->get(toRun.prog);
+        // attribute to this cell whatever frontier growth its replay
+        // triggers (approximate under concurrent sharing — metadata,
+        // not a measurement; canonicalize() zeroes it)
+        const double t0 = trace->produceSeconds();
+        result = simulateProgram(*toRun.prog, def, cfg, trace.get());
+        result.traceSeconds = trace->produceSeconds() - t0;
+    } else {
+        result = simulateProgram(*toRun.prog, def, cfg);
+    }
     result.benchmark = key.benchmark;
     result.generateSeconds = raw.buildSeconds;
     result.compile = toRun.compile;
+    result.compileSeconds = toRun.compile.seconds;
     return result;
 }
 
@@ -242,6 +282,10 @@ ExperimentRunner::ExperimentRunner(int jobs)
     : impl(std::make_unique<Impl>())
 {
     impl->defaultJobs = jobs;
+    if (traceEnabledFromEnv()) {
+        impl->traces =
+            std::make_unique<TraceCache>(traceCapBytesFromEnv());
+    }
 }
 
 ExperimentRunner::~ExperimentRunner() = default;
@@ -254,6 +298,12 @@ ExperimentRunner::cacheStats() const
     s.workloadHits = impl->workloadHits.load();
     s.compileBuilds = impl->compileBuilds.load();
     s.compileHits = impl->compileHits.load();
+    if (impl->traces != nullptr) {
+        s.traceBuilds = impl->traces->builds();
+        s.traceHits = impl->traces->hits();
+        s.traceEvicted = impl->traces->evicted();
+        s.traceBytes = impl->traces->residentBytes();
+    }
     return s;
 }
 

@@ -10,7 +10,12 @@
  *    techniques run it;
  *  - compiled (hint-annotated) programs, keyed by (workload key,
  *    full compiler configuration) — built once per distinct
- *    annotation and shared by every cell that asks for it.
+ *    annotation and shared by every cell that asks for it;
+ *  - functional traces (cpu/trace.hh), keyed by the program's content
+ *    hash — the interpreter runs once per distinct program and every
+ *    cell replays the shared trace, byte-identical by construction.
+ *    Bounded by SIQSIM_TRACE_CACHE_MB (LRU eviction of unreferenced
+ *    traces); SIQSIM_TRACE=0 disables replay entirely (DESIGN.md §11).
  *
  * Caches are per-runner and persist across run() calls, so an
  * ablation binary that runs several sweeps over the same suite pays
@@ -114,6 +119,14 @@ struct SweepCacheStats
     std::uint64_t workloadHits = 0;
     std::uint64_t compileBuilds = 0;
     std::uint64_t compileHits = 0;
+    /// @name Trace cache (all zero when SIQSIM_TRACE=0).
+    /// @{
+    std::uint64_t traceBuilds = 0;
+    std::uint64_t traceHits = 0;
+    std::uint64_t traceEvicted = 0;
+    /** Trace arena bytes resident at sampling time (not cumulative). */
+    std::uint64_t traceBytes = 0;
+    /// @}
 
     bool operator==(const SweepCacheStats &) const = default;
 };
@@ -272,9 +285,10 @@ class ExperimentRunner
 /**
  * True when two results carry identical measurements: same cell
  * identity, bit-identical core stats, IQ events and compile counters.
- * Wall-clock fields (generateSeconds, compile.seconds) are excluded —
- * they are the only fields that legitimately differ between a serial
- * and a cached/threaded run of the same cell.
+ * Wall-clock fields (generateSeconds, traceSeconds, compileSeconds,
+ * compile.seconds) are excluded — they are the only fields that
+ * legitimately differ between a serial and a cached/threaded run of
+ * the same cell.
  */
 bool identicalMeasurement(const RunResult &a, const RunResult &b);
 

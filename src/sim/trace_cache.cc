@@ -1,0 +1,97 @@
+#include "sim/trace_cache.hh"
+
+#include "common/logging.hh"
+
+namespace siq::sim
+{
+
+std::shared_ptr<FuncTrace>
+TraceCache::get(std::shared_ptr<const Program> prog)
+{
+    const std::uint64_t key = prog->contentHash;
+    std::lock_guard lock(mu);
+    Entry *entry;
+    if (const auto it = index.find(key); it != index.end()) {
+        lru.splice(lru.begin(), lru, it->second);
+        _hits++;
+        entry = &*it->second;
+    } else {
+        lru.push_front(
+            Entry{key, std::make_shared<FuncTrace>(std::move(prog)), 0});
+        index[key] = lru.begin();
+        _builds++;
+        entry = &lru.front();
+    }
+    entry->refs++;
+    enforceCap(); // the fresh/hit entry is pinned by refs, never itself
+                  // a victim
+    return std::shared_ptr<FuncTrace>(
+        entry->trace.get(),
+        [this, key](FuncTrace *) { release(key); });
+}
+
+void
+TraceCache::release(std::uint64_t key)
+{
+    std::lock_guard lock(mu);
+    const auto it = index.find(key);
+    SIQ_ASSERT(it != index.end() && it->second->refs > 0,
+               "trace cache release of an unknown or unpinned entry");
+    it->second->refs--;
+    // the entry may have grown well past the cap while pinned: this is
+    // the moment it becomes evictable, so re-enforce now
+    enforceCap();
+}
+
+void
+TraceCache::enforceCap()
+{
+    if (cap == 0)
+        return;
+    std::uint64_t resident = 0;
+    for (const Entry &e : lru)
+        resident += e.trace->bytes();
+    auto it = lru.end();
+    while (resident > cap && it != lru.begin()) {
+        --it;
+        if (it->refs > 0)
+            continue;
+        resident -= it->trace->bytes();
+        index.erase(it->key);
+        it = lru.erase(it);
+        _evicted++;
+    }
+}
+
+std::uint64_t
+TraceCache::builds() const
+{
+    std::lock_guard lock(mu);
+    return _builds;
+}
+
+std::uint64_t
+TraceCache::hits() const
+{
+    std::lock_guard lock(mu);
+    return _hits;
+}
+
+std::uint64_t
+TraceCache::evicted() const
+{
+    std::lock_guard lock(mu);
+    return _evicted;
+}
+
+std::uint64_t
+TraceCache::residentBytes() const
+{
+    std::lock_guard lock(mu);
+    std::uint64_t resident = 0;
+    for (const Entry &e : lru)
+        resident += e.trace->bytes();
+    return resident;
+}
+
+} // namespace siq::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bounded, evicting cache of functional traces keyed by program
+ * content hash (DESIGN.md §11).
+ *
+ * Sweep cells that simulate the same generated+annotated program —
+ * every replica seed of a cell, and every technique whose annotation
+ * leaves the instruction stream identical — share one FuncTrace, so
+ * the interpreter runs once per distinct program instead of once per
+ * cell.
+ *
+ * Handles pin: get() returns a shared_ptr whose deleter notifies the
+ * cache, so an entry some worker still holds is never evicted and the
+ * byte cap is re-enforced the moment a reference drops (traces grow
+ * *after* the miss that inserted them — enforcing only at insertion
+ * would let a sweep finish arbitrarily far over the cap). Eviction
+ * walks in LRU order over unpinned entries while resident bytes
+ * exceed the cap; an over-subscribed cap therefore degrades to
+ * trace-per-worker churn, never to a dangling trace. Handles must not
+ * outlive the cache (the sweep runner owns both; cell workers hold
+ * handles only while simulating).
+ */
+
+#ifndef SIQ_SIM_TRACE_CACHE_HH
+#define SIQ_SIM_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cpu/trace.hh"
+
+namespace siq::sim
+{
+
+/** Thread-safe LRU trace cache with a byte cap. */
+class TraceCache
+{
+  public:
+    /** @p capBytes bounds resident arena bytes (0 = unbounded). */
+    explicit TraceCache(std::uint64_t capBytes) : cap(capBytes) {}
+
+    /**
+     * The trace for @p prog's content, building it on a miss. The
+     * returned handle pins the trace against eviction until every
+     * copy is destroyed; it must not outlive the cache.
+     */
+    std::shared_ptr<FuncTrace> get(std::shared_ptr<const Program> prog);
+
+    /// @name Accounting (sweep cache statistics).
+    /// @{
+    std::uint64_t builds() const;
+    std::uint64_t hits() const;
+    std::uint64_t evicted() const;
+    /** Arena bytes currently resident across all cached traces. */
+    std::uint64_t residentBytes() const;
+    /// @}
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key;
+        std::shared_ptr<FuncTrace> trace;
+        std::uint64_t refs = 0; ///< outstanding handles
+    };
+
+    /** Handle deleter callback: unpin @p key, re-enforce the cap. */
+    void release(std::uint64_t key);
+
+    /** Evict LRU unpinned entries while over the cap; `mu` held. */
+    void enforceCap();
+
+    const std::uint64_t cap;
+    mutable std::mutex mu;
+    std::list<Entry> lru; ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::uint64_t _builds = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _evicted = 0;
+};
+
+} // namespace siq::sim
+
+#endif // SIQ_SIM_TRACE_CACHE_HH

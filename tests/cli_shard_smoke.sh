@@ -16,7 +16,9 @@ cd "$WORK"
     --out spec.json
 
 "$SIQSIM" run --spec spec.json --json unsharded.json --csv unsharded.csv \
-    --power-csv unsharded_power.csv
+    --power-csv unsharded_power.csv 2> run_unsharded.log
+# the run summary reports cache hit rates, trace cache included
+grep -q "caches: workloads .* traces " run_unsharded.log
 
 "$SIQSIM" run --spec spec.json --shard 0/2 --ckpt ckpt
 
@@ -35,10 +37,13 @@ grep -q "missing cells:" status_partial.log
 "$SIQSIM" run --spec spec.json --shard 1/2 --ckpt ckpt \
     --json merged_inline.json
 
-# status on the complete directory: exit 0
-"$SIQSIM" status ckpt > status_done.log
+# status on the complete directory: exit 0; --cache reports the
+# per-shard counter files published by the checkpointed runs
+"$SIQSIM" status ckpt --cache > status_done.log
 grep -q "checkpointed: 4/4" status_done.log
 grep -q "complete" status_done.log
+grep -q "cache_shard_0_of_2.json: workloads " status_done.log
+grep -q "cache_shard_1_of_2.json: .* traces " status_done.log
 "$SIQSIM" merge ckpt --json merged.json --csv merged.csv \
     --power-csv merged_power.csv
 

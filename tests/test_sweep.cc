@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 #include "common/stats.hh"
@@ -15,6 +16,7 @@
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "sim/technique.hh"
+#include "workloads/workloads.hh"
 
 namespace siq
 {
@@ -352,6 +354,108 @@ TEST(Replication, SeedsZeroDefersToEnvironment)
     const auto unset = plain.run(spec);
     EXPECT_EQ(unset.seeds, 1);
     EXPECT_TRUE(unset.aggregates.empty());
+}
+
+/** The trace-replay grid: every built-in technique over structurally
+ *  diverse workload families (loops, FP, calls, phase changes), with
+ *  replica seeds so replay covers decorrelated workloads too. */
+sim::SweepSpec
+traceSpec()
+{
+    sim::SweepSpec spec;
+    spec.benchmarks = {"gzip", "specfp", "server", "phased"};
+    spec.techniques = {"baseline", "noop",   "extension",
+                       "improved", "abella", "folegnani"};
+    spec.base.workload.repDivisor = 40;
+    spec.base.warmupInsts = 2000;
+    spec.base.measureInsts = 10000;
+    spec.seeds = 2;
+    spec.jobs = 4;
+    return spec;
+}
+
+/** Randomized end-to-end equivalence: a sweep replaying shared
+ *  functional traces (the default) must export canonical JSON
+ *  byte-identical to the same sweep interpreting every cell directly
+ *  (SIQSIM_TRACE=0). */
+TEST(TraceReplay, ByteIdenticalToDirectInterpretation)
+{
+    const auto spec = traceSpec();
+    sim::ExperimentRunner replayRunner; // tracing is on by default
+    const auto replayed = replayRunner.run(spec);
+    EXPECT_GT(replayed.cache.traceBuilds, 0u);
+    EXPECT_GT(replayed.cache.traceBytes, 0u);
+
+    ASSERT_EQ(setenv("SIQSIM_TRACE", "0", 1), 0);
+    sim::ExperimentRunner directRunner; // env is read at construction
+    ASSERT_EQ(unsetenv("SIQSIM_TRACE"), 0);
+    const auto direct = directRunner.run(spec);
+    EXPECT_EQ(direct.cache.traceBuilds, 0u);
+    EXPECT_EQ(direct.cache.traceBytes, 0u);
+
+    EXPECT_EQ(jsonOf(normalized(replayed)), jsonOf(normalized(direct)))
+        << "trace replay changed simulated behavior";
+}
+
+/** Exact accounting: one trace build per distinct annotated-program
+ *  content, one hit for every other (cell, replica); the distinct set
+ *  is recomputed here independently of the cache. */
+TEST(TraceReplay, CacheAccountingMatchesDistinctPrograms)
+{
+    const auto spec = traceSpec();
+    sim::ExperimentRunner runner;
+    const auto sweep = runner.run(spec);
+
+    std::set<std::uint64_t> distinct;
+    std::uint64_t gets = 0;
+    for (const auto &bench : spec.benchmarks) {
+        for (int rep = 0; rep < spec.seeds; rep++) {
+            auto wp = spec.base.workload;
+            if (rep > 0) {
+                wp.seed =
+                    sim::ExperimentRunner::mixSeed(wp.seed, rep, 0);
+            }
+            const Program raw = workloads::generate(bench, wp);
+            for (const auto &tech : spec.techniques) {
+                sim::RunConfig cfg = spec.base;
+                cfg.tech = *sim::techniqueFromName(tech);
+                gets++;
+                const auto cc = sim::compilerConfigFor(cfg.tech, cfg);
+                if (cc) {
+                    Program annotated = raw;
+                    compiler::annotate(annotated, *cc);
+                    distinct.insert(annotated.contentHash);
+                } else {
+                    distinct.insert(raw.contentHash);
+                }
+            }
+        }
+    }
+    EXPECT_EQ(sweep.cache.traceBuilds, distinct.size());
+    EXPECT_EQ(sweep.cache.traceHits, gets - distinct.size());
+    EXPECT_EQ(sweep.cache.traceEvicted, 0u);
+    EXPECT_GT(sweep.cache.traceBytes, 0u);
+}
+
+/** An over-subscribed byte cap evicts instead of growing without
+ *  bound, and eviction (rebuilding traces) never changes results. */
+TEST(TraceReplay, CacheRespectsByteCapUnderOverCapSweep)
+{
+    auto spec = traceSpec();
+    spec.jobs = 1; // deterministic LRU order and final resident set
+
+    ASSERT_EQ(setenv("SIQSIM_TRACE_CACHE_MB", "1", 1), 0);
+    sim::ExperimentRunner capped;
+    ASSERT_EQ(unsetenv("SIQSIM_TRACE_CACHE_MB"), 0);
+    const auto sweep = capped.run(spec);
+    EXPECT_GT(sweep.cache.traceEvicted, 0u);
+    EXPECT_LE(sweep.cache.traceBytes, 1ull << 20);
+
+    sim::ExperimentRunner unbounded;
+    const auto reference = unbounded.run(spec);
+    EXPECT_EQ(reference.cache.traceEvicted, 0u);
+    EXPECT_EQ(jsonOf(normalized(sweep)), jsonOf(normalized(reference)))
+        << "trace eviction changed simulated behavior";
 }
 
 class ReportRoundTrip : public ::testing::Test

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Functional-trace unit tests: program content hashing, lazy chunked
+ * production, replay-vs-interpret equivalence of the timing model,
+ * and the bounded trace cache's accounting and eviction policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/core.hh"
+#include "cpu/trace.hh"
+#include "sim/trace_cache.hh"
+#include "workloads/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace siq
+{
+namespace
+{
+
+workloads::WorkloadParams
+smallParams(std::uint64_t seed = 12345)
+{
+    workloads::WorkloadParams wp;
+    wp.repDivisor = 40; // shrink loop trip counts: tests, not figures
+    wp.seed = seed;
+    return wp;
+}
+
+std::shared_ptr<const Program>
+generateShared(const std::string &bench, std::uint64_t seed = 12345)
+{
+    return std::make_shared<const Program>(
+        workloads::generate(bench, smallParams(seed)));
+}
+
+TEST(ContentHash, DeterministicAndSeedSensitive)
+{
+    const auto a = generateShared("gzip");
+    const auto b = generateShared("gzip");
+    EXPECT_NE(a->contentHash, 0u);
+    // separately generated, identical content -> identical hash
+    EXPECT_EQ(a->contentHash, b->contentHash);
+    EXPECT_NE(a->contentHash, generateShared("gzip", 999)->contentHash);
+    EXPECT_NE(a->contentHash, generateShared("mcf")->contentHash);
+}
+
+TEST(FuncTrace, LazyChunkedProductionEndsAtHalt)
+{
+    ProgramBuilder b("tiny", 64);
+    b.newProc("main");
+    b.emit(makeMovImm(1, 7));
+    b.emit(makeAddImm(1, 1, 1));
+    b.emit(makeHalt());
+    auto prog = std::make_shared<const Program>(b.build());
+
+    FuncTrace trace(prog);
+    EXPECT_EQ(trace.producedRecords(), 0u);
+    EXPECT_EQ(trace.bytes(), 0u);
+
+    TraceCursor cur(&trace);
+    const TraceRecord &r0 = cur.at(0);
+    EXPECT_EQ(r0.si->op, Opcode::MovImm);
+    EXPECT_EQ(r0.flags, 0);
+    // one request produced the whole (short) program: production
+    // batches to the chunk end but stops at the halt record
+    EXPECT_EQ(trace.producedRecords(), 3u);
+    EXPECT_EQ(trace.bytes(),
+              FuncTrace::chunkRecords * sizeof(TraceRecord));
+
+    const TraceRecord &r2 = cur.at(2);
+    EXPECT_TRUE(r2.si->traits().isHalt);
+    EXPECT_NE(r2.flags & traceFlagHalted, 0);
+    EXPECT_EQ(r2.nextPc, 0u);
+    // records are stable across cursors
+    TraceCursor cur2(&trace);
+    EXPECT_EQ(&cur2.at(1), &cur.at(1));
+}
+
+/** Replaying a trace must reproduce every architectural counter the
+ *  direct-interpreting core produces, bit for bit, under multiple
+ *  timing configurations of the same trace. */
+TEST(FuncTrace, ReplayBitIdenticalToDirectInterpretation)
+{
+    for (const char *bench : {"gzip", "mcf", "crafty"}) {
+        const auto prog = generateShared(bench);
+        FuncTrace trace(prog);
+
+        CoreConfig narrow;
+        narrow.fetchWidth = 2;
+        narrow.iq.numEntries = 32;
+        for (const CoreConfig &cfg : {CoreConfig{}, narrow}) {
+            Core direct(*prog, cfg);
+            direct.run(20000);
+            Core replayed(*prog, cfg, nullptr, &trace);
+            replayed.run(20000);
+            EXPECT_EQ(direct.stats(), replayed.stats())
+                << bench << " fetchWidth=" << cfg.fetchWidth;
+            EXPECT_EQ(direct.iqEvents(), replayed.iqEvents())
+                << bench << " fetchWidth=" << cfg.fetchWidth;
+        }
+    }
+}
+
+/** A second replayer with a larger budget extends the shared trace
+ *  past the first one's frontier (lazy growth: the instruction budget
+ *  is not part of the trace identity). */
+TEST(FuncTrace, BudgetsExtendSharedTrace)
+{
+    const auto prog = generateShared("gzip");
+    FuncTrace trace(prog);
+
+    CoreConfig cfg;
+    Core small(*prog, cfg, nullptr, &trace);
+    small.run(2000);
+    const std::uint64_t frontier = trace.producedRecords();
+    ASSERT_GT(frontier, 0u);
+
+    Core big(*prog, cfg, nullptr, &trace);
+    big.run(20000);
+    EXPECT_GT(trace.producedRecords(), frontier);
+
+    Core direct(*prog, cfg);
+    direct.run(20000);
+    EXPECT_EQ(direct.stats(), big.stats());
+}
+
+TEST(TraceCache, HitAndBuildAccountingExact)
+{
+    sim::TraceCache cache(512ull << 20);
+    const auto gzip = generateShared("gzip");
+    const auto gzipAgain = generateShared("gzip");
+    const auto mcf = generateShared("mcf");
+
+    const auto t1 = cache.get(gzip);
+    // a different Program object with identical content is a hit
+    const auto t2 = cache.get(gzipAgain);
+    EXPECT_EQ(t1.get(), t2.get());
+    const auto t3 = cache.get(mcf);
+    EXPECT_NE(t1.get(), t3.get());
+    cache.get(mcf);
+
+    EXPECT_EQ(cache.builds(), 2u);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.evicted(), 0u);
+}
+
+TEST(TraceCache, EvictsLruUnreferencedWhenOverCap)
+{
+    // cap below one chunk: any second resident trace forces eviction
+    sim::TraceCache cache(1);
+    auto t1 = cache.get(generateShared("gzip"));
+    TraceCursor(&*t1).at(0); // allocate a chunk
+    ASSERT_GT(t1->bytes(), 1u);
+
+    // t1 is still referenced: inserting mcf must not evict it
+    auto t2 = cache.get(generateShared("mcf"));
+    TraceCursor(&*t2).at(0);
+    EXPECT_EQ(cache.evicted(), 0u);
+    EXPECT_GE(cache.residentBytes(), t1->bytes());
+
+    // dropping a handle re-enforces the cap the moment the entry
+    // becomes evictable — traces grow while pinned, so insertion-time
+    // enforcement alone would leave the cache over the cap for good
+    t1.reset();
+    EXPECT_EQ(cache.evicted(), 1u);
+    t2.reset();
+    EXPECT_EQ(cache.evicted(), 2u);
+
+    auto t3 = cache.get(generateShared("crafty"));
+    TraceCursor(&*t3).at(0);
+    EXPECT_LE(cache.residentBytes(), t3->bytes());
+
+    // an evicted program rebuilds (a fresh trace, not a stale pointer)
+    EXPECT_EQ(cache.builds(), 3u);
+    cache.get(generateShared("gzip"));
+    EXPECT_EQ(cache.builds(), 4u);
+
+    // once the last handle drops, resident bytes fall under the cap
+    t3.reset();
+    EXPECT_LE(cache.residentBytes(), 1u);
+}
+
+} // namespace
+} // namespace siq

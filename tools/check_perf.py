@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over the bench_simspeed trajectory.
+
+Compares the geomean Minst/s of a fresh ``bench_simspeed`` run (the
+``SIQSIM_JSON`` report) against the checked-in baseline
+``BENCH_simspeed.json`` and fails when the fresh geomean falls more
+than the tolerated fraction below the baseline.
+
+    check_perf.py <fresh.json> <baseline.json>
+
+The tolerance is ``SIQSIM_PERF_TOLERANCE`` (fractional, default 0.20
+= a >20% regression fails); raise it for slow or noisy runners.
+Improvements never fail; a new workload present in only one file is
+reported but compared on the geomean the files themselves carry, so
+adding a family does not break the guard.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"check_perf: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_perf: {path} is not valid JSON: {e}")
+    geomean = doc.get("geomean_minst_per_s")
+    if not isinstance(geomean, (int, float)) or geomean <= 0:
+        sys.exit(f"check_perf: {path} has no positive "
+                 "geomean_minst_per_s")
+    rates = {b["workload"]: b["minst_per_s"]
+             for b in doc.get("benchmarks", [])}
+    return geomean, rates
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit("usage: check_perf.py <fresh.json> <baseline.json>")
+    tol_text = os.environ.get("SIQSIM_PERF_TOLERANCE", "0.20")
+    try:
+        tolerance = float(tol_text)
+    except ValueError:
+        sys.exit("check_perf: SIQSIM_PERF_TOLERANCE must be a "
+                 f"number, got '{tol_text}'")
+    if tolerance < 0:
+        sys.exit("check_perf: SIQSIM_PERF_TOLERANCE must be >= 0")
+
+    fresh_geo, fresh = load(argv[1])
+    base_geo, base = load(argv[2])
+
+    ratio = fresh_geo / base_geo
+    print(f"check_perf: geomean {fresh_geo:.3f} Minst/s vs baseline "
+          f"{base_geo:.3f} ({ratio:.2f}x, tolerance -{tolerance:.0%})")
+    for name in sorted(set(fresh) | set(base)):
+        if name not in base:
+            print(f"  {name}: {fresh[name]:.2f} (new, no baseline)")
+        elif name not in fresh:
+            print(f"  {name}: baseline {base[name]:.2f}, not run")
+        else:
+            print(f"  {name}: {fresh[name]:.2f} vs {base[name]:.2f} "
+                  f"({fresh[name] / base[name]:.2f}x)")
+
+    if ratio < 1.0 - tolerance:
+        sys.exit(f"check_perf: FAIL — geomean regressed to "
+                 f"{ratio:.2f}x of baseline (allowed >= "
+                 f"{1.0 - tolerance:.2f}x). If the slowdown is "
+                 "expected, update BENCH_simspeed.json; if the "
+                 "runner is slow, raise SIQSIM_PERF_TOLERANCE.")
+    print("check_perf: OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
