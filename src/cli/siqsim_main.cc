@@ -32,6 +32,7 @@
 #include "common/logging.hh"
 #include "sim/checkpoint.hh"
 #include "sim/report.hh"
+#include "sim/serve.hh"
 #include "sim/sweep.hh"
 #include "sim/technique.hh"
 #include "workloads/family.hh"
@@ -54,6 +55,8 @@ usage:
   siqsim status DIR [--shards N] [--cache]
                                     cells done/missing in a run dir
   siqsim list                       list workload families and techniques
+  siqsim serve --socket PATH | --stdio
+                                    long-lived simulation daemon (JSONL)
 
 spec options (grid axes and budgets; all optional):
   --workloads a,b,... | all    workloads to sweep (default: every
@@ -99,6 +102,21 @@ status options:
                                recorded in the run directory
   exit status: 0 when every cell is checkpointed, 3 when cells are
   still missing (distinct from 1, a usage/IO error)
+
+serve options (protocol: DESIGN.md §13):
+  --socket PATH                listen on a unix domain socket; each
+                               connection is an independent client
+  --stdio                      serve one client over stdin/stdout
+                               (tests, inetd-style supervisors)
+  --jobs N                     default worker threads per request
+                               (0 = SIQSIM_SERVE_JOBS / cores)
+  requests:  {"id":"r1","spec":{...}}   {"cancel":"r1"}
+  responses: accepted / cell / done / error records, one per line;
+  workload, compiled-program and trace caches are shared across
+  requests, and identical in-flight cells from concurrent clients
+  are simulated once. Env: SIQSIM_SERVE_QUEUE (per-client record
+  queue, default 256), SIQSIM_SERVE_RESULT_CACHE (completed-cell
+  LRU, default 1024), SIQSIM_SERVE_JOBS.
 
 The merge of N shard directories is byte-identical to the same spec
 run unsharded — both are canonical exports of the same pure function.
@@ -561,6 +579,32 @@ cmdList()
     return 0;
 }
 
+int
+cmdServe(Args args)
+{
+    const auto socket = args.option("socket");
+    const bool stdio = args.flag("stdio");
+    const auto jobs = args.option("jobs");
+    args.expectConsumed();
+    if (stdio == socket.has_value()) {
+        fatal("serve: pass exactly one of --socket PATH or --stdio");
+    }
+
+    auto opts = sim::ServeEngine::optionsFromEnv();
+    if (!opts)
+        fatal(opts.error());
+    if (jobs)
+        opts.value().jobs = static_cast<int>(toLong("jobs", *jobs));
+
+    sim::ServeEngine engine(opts.value());
+    if (stdio) {
+        sim::serveStdio(engine, std::cin, std::cout);
+        return 0;
+    }
+    sim::serveUnixSocket(engine, *socket, &std::cerr);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -582,6 +626,8 @@ main(int argc, char **argv)
             return cmdStatus(Args(argc, argv, 2));
         if (cmd == "list")
             return cmdList();
+        if (cmd == "serve")
+            return cmdServe(Args(argc, argv, 2));
         std::cerr << "siqsim: unknown command '" << cmd << "'\n\n";
         return usage(std::cerr, 2);
     } catch (const FatalError &e) {

@@ -1,16 +1,22 @@
 #include "sim/checkpoint.hh"
 
+#include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <system_error>
 
 #include "common/logging.hh"
+#include "common/result.hh"
 #include "workloads/family.hh"
 
 namespace siq::sim
@@ -46,12 +52,37 @@ readFile(const fs::path &path)
     return buf.str();
 }
 
-/** Write-then-rename: the destination either does not exist or holds
- *  the complete content, never a prefix. Rename atomicity holds
- *  within one filesystem, which a run directory is. The tmp name is
- *  unique per process and call so concurrent shards sharing a run
- *  directory (e.g. both racing to publish spec.json) never tear each
- *  other's half-written files. */
+/** fsync a directory so a just-renamed entry survives a crash; some
+ *  filesystems refuse to sync directories (EINVAL) — warn, don't
+ *  fail, since the data itself is already durable. */
+void
+syncDir(const fs::path &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        warn("checkpoint: cannot open directory '", dir.string(),
+             "' for fsync: ", std::strerror(errno));
+        return;
+    }
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+        warn("checkpoint: fsync of directory '", dir.string(),
+             "' failed: ", std::strerror(errno));
+    }
+    ::close(fd);
+}
+
+/**
+ * Write-then-rename with durability: the destination either does not
+ * exist or holds the complete content, never a prefix — even across a
+ * power failure. The tmp file is fsynced before the rename (otherwise
+ * the rename can reach disk before the data, persisting an
+ * empty-but-named cell file a resume would then trust), and the
+ * parent directory is fsynced after it so the new name itself is
+ * durable. Rename atomicity holds within one filesystem, which a run
+ * directory is. The tmp name is unique per process and call so
+ * concurrent shards sharing a run directory (e.g. both racing to
+ * publish spec.json) never tear each other's half-written files.
+ */
 void
 atomicWrite(const fs::path &path, const std::string &content)
 {
@@ -60,19 +91,84 @@ atomicWrite(const fs::path &path, const std::string &content)
     suffix << ".tmp." << ::getpid() << "."
            << serial.fetch_add(1, std::memory_order_relaxed);
     const fs::path tmp = path.string() + suffix.str();
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (os)
-            os << content;
-        os.flush();
-        if (!os)
-            fatal("checkpoint: write to '", tmp.string(), "' failed");
+
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+        fatal("checkpoint: cannot create '", tmp.string(), "': ",
+              std::strerror(errno));
     }
+    std::size_t off = 0;
+    while (off < content.size()) {
+        const ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            fatal("checkpoint: write to '", tmp.string(), "' failed: ",
+                  std::strerror(err));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("checkpoint: fsync of '", tmp.string(), "' failed: ",
+              std::strerror(err));
+    }
+    if (::close(fd) != 0) {
+        fatal("checkpoint: close of '", tmp.string(), "' failed: ",
+              std::strerror(errno));
+    }
+
     std::error_code ec;
     fs::rename(tmp, path, ec);
     if (ec) {
         fatal("checkpoint: rename '", tmp.string(), "' -> '",
               path.string(), "' failed: ", ec.message());
+    }
+    syncDir(path.parent_path());
+}
+
+/**
+ * Remove `.tmp.<pid>.<serial>` leftovers of crashed shards from
+ * @p dir. A live pid (a concurrent shard mid-atomicWrite) keeps its
+ * files: kill(pid, 0) distinguishes the two — only ESRCH (no such
+ * process) marks the file stale. Unparseable tmp names are left
+ * alone.
+ */
+void
+removeStaleTmpFiles(const fs::path &dir)
+{
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        const auto tag = name.find(".tmp.");
+        if (tag == std::string::npos)
+            continue;
+        const std::string rest = name.substr(tag + 5);
+        const auto dot = rest.find('.');
+        if (dot == std::string::npos || dot == 0)
+            continue;
+        errno = 0;
+        char *end = nullptr;
+        const long pid = std::strtol(rest.c_str(), &end, 10);
+        if (errno != 0 || end != rest.c_str() + dot || pid <= 0)
+            continue;
+        if (::kill(static_cast<pid_t>(pid), 0) == 0 ||
+            errno != ESRCH) {
+            continue; // owner alive (or unknowable): not ours to reap
+        }
+        std::error_code rmEc;
+        if (fs::remove(entry.path(), rmEc)) {
+            inform("checkpoint: removed stale tmp file '",
+                   entry.path().string(), "' (pid ", pid, " is gone)");
+        }
     }
 }
 
@@ -209,10 +305,34 @@ writeCellCheckpoint(const fs::path &dir, const SweepSpec &spec,
 std::vector<bool>
 scanCheckpoints(const fs::path &dir, const SweepSpec &spec)
 {
+    // reap tmp leftovers of crashed shards first, so they never
+    // accumulate and never get mistaken for anything meaningful
+    removeStaleTmpFiles(dir);
+    if (fs::exists(cellsDir(dir)))
+        removeStaleTmpFiles(cellsDir(dir));
+
     const std::size_t ncells = cellCount(spec);
     std::vector<bool> have(ncells, false);
-    for (std::size_t i = 0; i < ncells; i++)
-        have[i] = fs::exists(cellsDir(dir) / checkpointFileName(spec, i));
+    for (std::size_t i = 0; i < ncells; i++) {
+        const fs::path path = cellsDir(dir) / checkpointFileName(spec, i);
+        if (!fs::exists(path))
+            continue;
+        // trust only files that parse and carry the right index: a
+        // truncated or corrupted checkpoint (partial write on a
+        // filesystem without rename durability, manual tampering)
+        // counts as missing, so resume re-runs the cell and
+        // atomically replaces the damaged file
+        const auto ckpt = asResult(
+            [&] { return cellCheckpointFromJson(readFile(path)); });
+        if (!ckpt || ckpt.value().index != i) {
+            warn("checkpoint: ignoring damaged cell file '",
+                 path.string(), "'",
+                 ckpt ? " (index mismatch)" : "",
+                 "; the cell will re-run");
+            continue;
+        }
+        have[i] = true;
+    }
     return have;
 }
 

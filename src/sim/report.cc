@@ -1,15 +1,12 @@
 #include "sim/report.hh"
 
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/technique.hh"
 #include "workloads/family.hh"
@@ -20,6 +17,13 @@ namespace siq::sim
 namespace
 {
 
+// the JSON tree/parser and the whole-token numeric validators live in
+// common/json (shared with the serve daemon's request parsing)
+using JsonValue = json::Value;
+using json::parseDouble;
+using json::parseU64;
+using json::quote;
+
 std::string
 fmtDouble(double v)
 {
@@ -27,340 +31,6 @@ fmtDouble(double v)
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
 }
-
-/** strtoull with whole-token validation: garbage fatals, never 0.
- *  Counters are unsigned decimals, so signs (which strtoull would
- *  silently wrap) and overflow are malformed too. */
-std::uint64_t
-parseU64(const std::string &token)
-{
-    if (token.empty() ||
-        !std::isdigit(static_cast<unsigned char>(token[0])))
-        fatal("report: malformed integer '", token, "'");
-    char *end = nullptr;
-    errno = 0;
-    const std::uint64_t v = std::strtoull(token.c_str(), &end, 10);
-    if (end != token.c_str() + token.size() || errno == ERANGE)
-        fatal("report: malformed integer '", token, "'");
-    return v;
-}
-
-/** strtoll with whole-token validation (config ints may be signed). */
-std::int64_t
-parseI64(const std::string &token)
-{
-    if (token.empty())
-        fatal("report: malformed integer '", token, "'");
-    char *end = nullptr;
-    errno = 0;
-    const std::int64_t v = std::strtoll(token.c_str(), &end, 10);
-    if (end != token.c_str() + token.size() || errno == ERANGE)
-        fatal("report: malformed integer '", token, "'");
-    return v;
-}
-
-/** strtod with whole-token and range validation. */
-double
-parseDouble(const std::string &token)
-{
-    char *end = nullptr;
-    errno = 0;
-    const double v = std::strtod(token.c_str(), &end);
-    if (token.empty() || end != token.c_str() + token.size() ||
-        errno == ERANGE)
-        fatal("report: malformed number '", token, "'");
-    return v;
-}
-
-std::string
-quote(const std::string &s)
-{
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out + "\"";
-}
-
-// ------------------------------------------------------- JSON values
-
-/** Minimal JSON tree; numbers keep their raw token so integer
- *  counters convert exactly. */
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    std::string token; ///< raw number token or decoded string
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue &
-    at(const std::string &key) const
-    {
-        for (const auto &[k, v] : object) {
-            if (k == key)
-                return v;
-        }
-        fatal("report JSON: missing key '", key, "'");
-    }
-
-    /** Optional lookup for schema-evolution keys. */
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : object) {
-            if (k == key)
-                return &v;
-        }
-        return nullptr;
-    }
-
-    std::uint64_t
-    asU64() const
-    {
-        if (kind != Kind::Number)
-            fatal("report JSON: expected number");
-        return parseU64(token);
-    }
-
-    double
-    asDouble() const
-    {
-        if (kind != Kind::Number)
-            fatal("report JSON: expected number");
-        return parseDouble(token);
-    }
-
-    int
-    asInt() const
-    {
-        if (kind != Kind::Number)
-            fatal("report JSON: expected number");
-        const std::int64_t v = parseI64(token);
-        if (v < std::numeric_limits<int>::min() ||
-            v > std::numeric_limits<int>::max())
-            fatal("report JSON: integer out of range: ", token);
-        return static_cast<int>(v);
-    }
-
-    bool
-    asBool() const
-    {
-        if (kind != Kind::Bool)
-            fatal("report JSON: expected boolean");
-        return boolean;
-    }
-
-    const std::string &
-    asString() const
-    {
-        if (kind != Kind::String)
-            fatal("report JSON: expected string");
-        return token;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        skipWs();
-        if (pos != s.size())
-            fatal("report JSON: trailing data at offset ", pos);
-        return v;
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos < s.size() &&
-               (s[pos] == ' ' || s[pos] == '\n' || s[pos] == '\t' ||
-                s[pos] == '\r'))
-            pos++;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos >= s.size())
-            fatal("report JSON: unexpected end of input");
-        return s[pos];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fatal("report JSON: expected '", c, "' at offset ", pos);
-        pos++;
-    }
-
-    JsonValue
-    value()
-    {
-        const char c = peek();
-        if (c == '{')
-            return object();
-        if (c == '[')
-            return array();
-        if (c == '"')
-            return string();
-        if (c == 't' || c == 'f')
-            return boolean();
-        if (c == 'n') {
-            literal("null");
-            return {};
-        }
-        return number();
-    }
-
-    void
-    literal(const char *word)
-    {
-        for (const char *p = word; *p; p++) {
-            if (pos >= s.size() || s[pos] != *p)
-                fatal("report JSON: bad literal at offset ", pos);
-            pos++;
-        }
-    }
-
-    JsonValue
-    boolean()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Bool;
-        if (peek() == 't') {
-            literal("true");
-            v.boolean = true;
-        } else {
-            literal("false");
-        }
-        return v;
-    }
-
-    JsonValue
-    number()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        const std::size_t start = pos;
-        while (pos < s.size() &&
-               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
-                s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
-                s[pos] == 'e' || s[pos] == 'E'))
-            pos++;
-        if (pos == start)
-            fatal("report JSON: bad number at offset ", pos);
-        v.token = s.substr(start, pos - start);
-        return v;
-    }
-
-    JsonValue
-    string()
-    {
-        expect('"');
-        JsonValue v;
-        v.kind = JsonValue::Kind::String;
-        while (pos < s.size() && s[pos] != '"') {
-            if (s[pos] == '\\') {
-                pos++;
-                if (pos >= s.size())
-                    break;
-                switch (s[pos]) {
-                  case '"':
-                  case '\\':
-                  case '/':
-                    v.token += s[pos];
-                    break;
-                  case 'n':
-                    v.token += '\n';
-                    break;
-                  case 't':
-                    v.token += '\t';
-                    break;
-                  case 'r':
-                    v.token += '\r';
-                    break;
-                  case 'b':
-                    v.token += '\b';
-                    break;
-                  case 'f':
-                    v.token += '\f';
-                    break;
-                  default:
-                    // \uXXXX and anything else: fail loudly rather
-                    // than silently mangling the string
-                    fatal("report JSON: unsupported escape '\\",
-                          s[pos], "' at offset ", pos);
-                }
-                pos++;
-                continue;
-            }
-            v.token += s[pos++];
-        }
-        if (pos >= s.size())
-            fatal("report JSON: unterminated string");
-        pos++; // closing quote
-        return v;
-    }
-
-    JsonValue
-    array()
-    {
-        expect('[');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        if (peek() == ']') {
-            pos++;
-            return v;
-        }
-        while (true) {
-            v.array.push_back(value());
-            const char c = peek();
-            pos++;
-            if (c == ']')
-                return v;
-            if (c != ',')
-                fatal("report JSON: expected ',' at offset ", pos - 1);
-        }
-    }
-
-    JsonValue
-    object()
-    {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        if (peek() == '}') {
-            pos++;
-            return v;
-        }
-        while (true) {
-            JsonValue key = string();
-            expect(':');
-            v.object.emplace_back(key.token, value());
-            const char c = peek();
-            pos++;
-            if (c == '}')
-                return v;
-            if (c != ',')
-                fatal("report JSON: expected ',' at offset ", pos - 1);
-        }
-    }
-
-    const std::string &s;
-    std::size_t pos = 0;
-};
 
 // ----------------------------------------------------- field helpers
 
@@ -588,7 +258,7 @@ readJson(std::istream &is)
     std::ostringstream buf;
     buf << is.rdbuf();
     const std::string text = buf.str();
-    const JsonValue root = JsonParser(text).parse();
+    const JsonValue root = json::parse(text);
 
     SweepResult result;
     for (const auto &b : root.at("benchmarks").array)
@@ -1087,12 +757,8 @@ toJson(const SweepSpec &spec)
 }
 
 SweepSpec
-readSpecJson(std::istream &is)
+specFromJson(const json::Value &root)
 {
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    const JsonValue root = JsonParser(buf.str()).parse();
-
     SweepSpec spec;
     for (const auto &b : root.at("benchmarks").array)
         spec.benchmarks.push_back(workloadSpecFromJson(b));
@@ -1108,6 +774,27 @@ readSpecJson(std::istream &is)
             fatal("spec JSON: unknown technique '", t, "'");
     }
     return spec;
+}
+
+SweepSpec
+readSpecJson(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return specFromJson(json::parse(buf.str()));
+}
+
+Result<SweepSpec>
+trySpecFromJson(const json::Value &root)
+{
+    return asResult([&] { return specFromJson(root); });
+}
+
+Result<SweepSpec>
+tryReadSpecJson(const std::string &text)
+{
+    return asResult(
+        [&] { return specFromJson(json::parse(text)); });
 }
 
 std::string
@@ -1128,7 +815,7 @@ toJson(const CellCheckpoint &ckpt)
 CellCheckpoint
 cellCheckpointFromJson(const std::string &text)
 {
-    const JsonValue root = JsonParser(text).parse();
+    const JsonValue root = json::parse(text);
     CellCheckpoint ckpt;
     ckpt.index = static_cast<std::size_t>(root.at("index").asU64());
     ckpt.seeds = root.at("seeds").asInt();
@@ -1158,7 +845,7 @@ toJson(const SweepCacheStats &cache)
 SweepCacheStats
 cacheStatsFromJson(const std::string &text)
 {
-    const JsonValue root = JsonParser(text).parse();
+    const JsonValue root = json::parse(text);
     SweepCacheStats s;
     s.workloadBuilds = root.at("workloadBuilds").asU64();
     s.workloadHits = root.at("workloadHits").asU64();
@@ -1172,17 +859,22 @@ cacheStatsFromJson(const std::string &text)
 }
 
 void
+canonicalize(RunResult &cell)
+{
+#define X(f) cell.f = 0.0;
+    SIQ_RUN_TIMING_FIELDS(X)
+#undef X
+    cell.compile.seconds = 0.0;
+}
+
+void
 canonicalize(SweepResult &result)
 {
     result.jobsUsed = 0;
     result.wallSeconds = 0.0;
     result.cache = SweepCacheStats{};
-    for (auto &cell : result.cells) {
-#define X(f) cell.f = 0.0;
-        SIQ_RUN_TIMING_FIELDS(X)
-#undef X
-        cell.compile.seconds = 0.0;
-    }
+    for (auto &cell : result.cells)
+        canonicalize(cell);
 }
 
 void

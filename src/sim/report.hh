@@ -18,6 +18,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/json.hh"
+#include "common/result.hh"
 #include "sim/fields.hh"
 #include "sim/sweep.hh"
 
@@ -103,6 +105,21 @@ std::string toJson(const SweepSpec &spec);
  *  input or unknown technique names. */
 SweepSpec readSpecJson(std::istream &is);
 
+/** Build a SweepSpec from an already-parsed JSON tree (the serve
+ *  daemon embeds specs inside request envelopes). Fatal on schema
+ *  violations; see trySpecFromJson for the recoverable form. */
+SweepSpec specFromJson(const json::Value &root);
+
+/** Recoverable specFromJson: schema violations become an error
+ *  Result instead of unwinding past the caller. */
+Result<SweepSpec> trySpecFromJson(const json::Value &root);
+
+/** Recoverable readSpecJson over an in-memory document: malformed
+ *  JSON, schema violations, unknown techniques, and bad workload
+ *  specs all come back as an error Result. The entry point for
+ *  untrusted per-request bytes (sim/serve.cc). */
+Result<SweepSpec> tryReadSpecJson(const std::string &text);
+
 /// @}
 
 /// @name Per-cell checkpoints.
@@ -150,6 +167,11 @@ SweepCacheStats cacheStatsFromJson(const std::string &text);
  * the form `siqsim run` and `siqsim merge` emit (DESIGN.md §8.3).
  */
 void canonicalize(SweepResult &result);
+
+/** Zero one cell's timing fields (the per-cell piece of the above;
+ *  the serve daemon canonicalizes cells before streaming them so
+ *  deduped fan-out is byte-identical for every receiver). */
+void canonicalize(RunResult &cell);
 
 } // namespace siq::sim
 

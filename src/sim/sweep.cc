@@ -131,37 +131,16 @@ traceEnabledFromEnv()
     return v == nullptr || std::string(v) != "0";
 }
 
-/** SIQSIM_TRACE_CACHE_MB caps the trace cache; default 512, 0 =
- *  unbounded. */
 std::uint64_t
 traceCapBytesFromEnv()
 {
-    const char *v = std::getenv("SIQSIM_TRACE_CACHE_MB");
-    if (v == nullptr)
-        return 512ull << 20;
-    char *end = nullptr;
-    errno = 0;
-    const long long n = std::strtoll(v, &end, 10);
-    if (end == v || *end != '\0' || errno == ERANGE || n < 0)
-        fatal("SIQSIM_TRACE_CACHE_MB must be a non-negative integer, "
-              "got '", v, "'");
-    return static_cast<std::uint64_t>(n) << 20;
+    return tryTraceCapBytesFromEnv().orFatal();
 }
 
-/** SIQSIM_SEEDS for specs that defer (seeds == 0); default 1. */
 int
 seedsFromEnv()
 {
-    const char *v = std::getenv("SIQSIM_SEEDS");
-    if (v == nullptr)
-        return 1;
-    char *end = nullptr;
-    errno = 0;
-    const long n = std::strtol(v, &end, 10);
-    if (end == v || *end != '\0' || errno == ERANGE || n < 1 ||
-        n > std::numeric_limits<int>::max())
-        fatal("SIQSIM_SEEDS must be a positive integer, got '", v, "'");
-    return static_cast<int>(n);
+    return trySeedsFromEnv().orFatal();
 }
 
 MetricAggregate
@@ -203,6 +182,40 @@ aggregateReplicas(const RunResult *reps, std::size_t n)
 }
 
 } // namespace
+
+Result<std::uint64_t>
+tryTraceCapBytesFromEnv()
+{
+    const char *v = std::getenv("SIQSIM_TRACE_CACHE_MB");
+    if (v == nullptr)
+        return Result<std::uint64_t>::ok(512ull << 20);
+    char *end = nullptr;
+    errno = 0;
+    const long long n = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || n < 0)
+        return Result<std::uint64_t>::error(
+            "SIQSIM_TRACE_CACHE_MB must be a non-negative integer, "
+            "got '" + std::string(v) + "'");
+    return Result<std::uint64_t>::ok(static_cast<std::uint64_t>(n)
+                                     << 20);
+}
+
+Result<int>
+trySeedsFromEnv()
+{
+    const char *v = std::getenv("SIQSIM_SEEDS");
+    if (v == nullptr)
+        return Result<int>::ok(1);
+    char *end = nullptr;
+    errno = 0;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || n < 1 ||
+        n > std::numeric_limits<int>::max())
+        return Result<int>::error(
+            "SIQSIM_SEEDS must be a positive integer, got '" +
+            std::string(v) + "'");
+    return Result<int>::ok(static_cast<int>(n));
+}
 
 struct ExperimentRunner::Impl
 {
@@ -390,10 +403,36 @@ ExperimentRunner::run(const SweepSpec &spec, const CellHooks &hooks)
         new std::atomic<std::size_t>[nrun]);
     std::unique_ptr<std::atomic<bool>[]> poisoned(
         new std::atomic<bool>[nrun]);
+    // execution-time verdict per cell: 0 = undecided, 1 = run,
+    // 2 = skip. shouldRun is consulted a second time when a cell's
+    // first replica is picked up, so a filter that turns false while
+    // the sweep is in flight (request cancellation — sim/serve.cc)
+    // drains the remaining cells instead of simulating them.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> verdict(
+        new std::atomic<std::uint8_t>[nrun]);
     for (std::size_t i = 0; i < nrun; i++) {
         remaining[i].store(nreps, std::memory_order_relaxed);
         poisoned[i].store(false, std::memory_order_relaxed);
+        verdict[i].store(0, std::memory_order_relaxed);
     }
+
+    // all replicas of a cell must agree on the verdict (a cell half
+    // run and half skipped would aggregate garbage): the first
+    // replica to decide publishes via CAS, racers adopt the winner
+    auto cellRuns = [&](std::size_t slot) {
+        std::uint8_t v = verdict[slot].load(std::memory_order_acquire);
+        if (v == 0) {
+            std::uint8_t want =
+                (!hooks.shouldRun || hooks.shouldRun(cellsToRun[slot]))
+                    ? 1
+                    : 2;
+            if (verdict[slot].compare_exchange_strong(
+                    v, want, std::memory_order_acq_rel))
+                v = want;
+            // on CAS failure v holds the winner's value
+        }
+        return v == 1;
+    };
 
     int jobs = spec.jobs != 0 ? spec.jobs : impl->defaultJobs;
     if (jobs <= 0)
@@ -427,6 +466,14 @@ ExperimentRunner::run(const SweepSpec &spec, const CellHooks &hooks)
             }
             const std::size_t slot = j / nreps;
             const CellKey key = makeKey(cellsToRun[slot], j % nreps);
+            if (!cellRuns(slot)) {
+                // cancelled since scheduling: fall through to the
+                // countdown so the sweep still joins cleanly, but
+                // leave the cell unreported and its slot default
+                remaining[slot].fetch_sub(1,
+                                          std::memory_order_acq_rel);
+                continue;
+            }
             try {
                 RunConfig cfg = spec.base;
                 cfg.tech = defs[key.techIdx]->tag;

@@ -52,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hh"
 #include "sim/fields.hh"
 #include "sim/simulator.hh"
 
@@ -216,11 +217,20 @@ struct SweepResult
 struct CellHooks
 {
     /**
-     * Cell filter, consulted once per cell before any of its replicas
-     * are scheduled. Return false to skip the cell entirely (its
-     * result slot stays default-constructed). Null = run every cell.
-     * Used for shard selection and for resuming past already
-     * checkpointed cells.
+     * Cell filter. Return false to skip the cell entirely (its
+     * result slot stays default-constructed, onCellDone never fires
+     * for it). Null = run every cell. Used for shard selection, for
+     * resuming past already checkpointed cells, and for mid-run
+     * cancellation.
+     *
+     * Consulted up to twice per cell: once up front when the cell
+     * list is built (in stable index order, so shard partitions are
+     * deterministic), and again — possibly from a worker thread —
+     * when the cell's first replica is picked up for execution, so a
+     * filter that turns false while the sweep is in flight drains
+     * the not-yet-started cells. Implementations must therefore be
+     * idempotent and thread-safe; a cell whose execution already
+     * began completes regardless.
      */
     std::function<bool(std::size_t cellIdx)> shouldRun;
     /**
@@ -291,6 +301,23 @@ class ExperimentRunner
  * the same cell.
  */
 bool identicalMeasurement(const RunResult &a, const RunResult &b);
+
+/// @name Environment knobs (recoverable parsers).
+/// Internally the engine reads these via fatal()-style wrappers; a
+/// long-lived host (sim/serve.cc) validates them up front with these
+/// so a malformed environment is reported once at startup rather
+/// than unwinding out of a tenant's run.
+/// @{
+
+/** SIQSIM_TRACE_CACHE_MB caps the trace cache; default 512 MiB, 0 =
+ *  unbounded. Error on non-integer or negative values. */
+Result<std::uint64_t> tryTraceCapBytesFromEnv();
+
+/** SIQSIM_SEEDS for specs that defer (seeds == 0); default 1. Error
+ *  on non-positive or malformed values. */
+Result<int> trySeedsFromEnv();
+
+/// @}
 
 } // namespace siq::sim
 

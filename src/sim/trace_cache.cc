@@ -5,33 +5,70 @@
 namespace siq::sim
 {
 
+TraceCache::TraceCache(std::uint64_t capBytes)
+    : state(std::make_shared<State>(capBytes))
+{
+}
+
+TraceCache::~TraceCache()
+{
+    std::lock_guard lock(state->mu);
+    std::uint64_t pinned = 0;
+    for (const Entry &e : state->lru)
+        pinned += e.refs > 0;
+    if (pinned > 0) {
+        warn("trace cache destroyed with ", pinned,
+             " pinned entries; their traces outlive the cache");
+    }
+}
+
 std::shared_ptr<FuncTrace>
 TraceCache::get(std::shared_ptr<const Program> prog)
 {
     const std::uint64_t key = prog->contentHash;
-    std::lock_guard lock(mu);
-    Entry *entry;
-    if (const auto it = index.find(key); it != index.end()) {
-        lru.splice(lru.begin(), lru, it->second);
-        _hits++;
-        entry = &*it->second;
-    } else {
-        lru.push_front(
-            Entry{key, std::make_shared<FuncTrace>(std::move(prog)), 0});
-        index[key] = lru.begin();
-        _builds++;
-        entry = &lru.front();
+    std::shared_ptr<FuncTrace> trace;
+    {
+        std::lock_guard lock(state->mu);
+        Entry *entry;
+        if (const auto it = state->index.find(key);
+            it != state->index.end()) {
+            state->lru.splice(state->lru.begin(), state->lru,
+                              it->second);
+            state->_hits++;
+            entry = &*it->second;
+            state->refreshBytes(*entry);
+        } else {
+            state->lru.push_front(Entry{
+                key, std::make_shared<FuncTrace>(std::move(prog)), 0,
+                0});
+            state->index[key] = state->lru.begin();
+            state->_builds++;
+            entry = &state->lru.front();
+            state->refreshBytes(*entry);
+        }
+        entry->refs++;
+        state->enforceCap(); // the fresh/hit entry is pinned by refs,
+                             // never itself a victim
+        state->checkResident();
+        trace = entry->trace;
     }
-    entry->refs++;
-    enforceCap(); // the fresh/hit entry is pinned by refs, never itself
-                  // a victim
+    // The handle co-owns the trace (`owned`), so it stays valid even
+    // if the cache — and with it the entry's own shared_ptr — is
+    // destroyed first; the deleter then finds `weak` expired and
+    // skips the bookkeeping.
+    std::weak_ptr<State> weak = state;
+    FuncTrace *raw = trace.get();
     return std::shared_ptr<FuncTrace>(
-        entry->trace.get(),
-        [this, key](FuncTrace *) { release(key); });
+        raw,
+        [weak, owned = std::move(trace), key](FuncTrace *) mutable {
+            if (const auto s = weak.lock())
+                s->release(key);
+            owned.reset();
+        });
 }
 
 void
-TraceCache::release(std::uint64_t key)
+TraceCache::State::release(std::uint64_t key)
 {
     std::lock_guard lock(mu);
     const auto it = index.find(key);
@@ -39,59 +76,92 @@ TraceCache::release(std::uint64_t key)
                "trace cache release of an unknown or unpinned entry");
     it->second->refs--;
     // the entry may have grown well past the cap while pinned: this is
-    // the moment it becomes evictable, so re-enforce now
+    // the moment the growth becomes visible and the entry evictable,
+    // so account and re-enforce now
+    refreshBytes(*it->second);
     enforceCap();
+    checkResident();
 }
 
 void
-TraceCache::enforceCap()
+TraceCache::State::refreshBytes(Entry &e)
+{
+    const std::uint64_t now = e.trace->bytes();
+    resident += now - e.bytesSeen;
+    e.bytesSeen = now;
+}
+
+void
+TraceCache::State::enforceCap()
 {
     if (cap == 0)
         return;
-    std::uint64_t resident = 0;
-    for (const Entry &e : lru)
-        resident += e.trace->bytes();
     auto it = lru.end();
     while (resident > cap && it != lru.begin()) {
         --it;
         if (it->refs > 0)
             continue;
-        resident -= it->trace->bytes();
+        resident -= it->bytesSeen;
         index.erase(it->key);
         it = lru.erase(it);
         _evicted++;
     }
 }
 
+void
+TraceCache::State::checkResident() const
+{
+#ifndef NDEBUG
+    std::uint64_t sum = 0;
+    for (const Entry &e : lru)
+        sum += e.bytesSeen;
+    SIQ_ASSERT(sum == resident,
+               "trace cache resident-bytes counter out of sync");
+#endif
+}
+
 std::uint64_t
 TraceCache::builds() const
 {
-    std::lock_guard lock(mu);
-    return _builds;
+    std::lock_guard lock(state->mu);
+    return state->_builds;
 }
 
 std::uint64_t
 TraceCache::hits() const
 {
-    std::lock_guard lock(mu);
-    return _hits;
+    std::lock_guard lock(state->mu);
+    return state->_hits;
 }
 
 std::uint64_t
 TraceCache::evicted() const
 {
-    std::lock_guard lock(mu);
-    return _evicted;
+    std::lock_guard lock(state->mu);
+    return state->_evicted;
 }
 
 std::uint64_t
 TraceCache::residentBytes() const
 {
-    std::lock_guard lock(mu);
-    std::uint64_t resident = 0;
-    for (const Entry &e : lru)
-        resident += e.trace->bytes();
-    return resident;
+    // fold in any growth of currently-pinned entries so the report is
+    // live; this is the one O(entries) walk left, on the stats query
+    // path rather than on every get/release
+    std::lock_guard lock(state->mu);
+    for (Entry &e : state->lru)
+        state->refreshBytes(e);
+    state->checkResident();
+    return state->resident;
+}
+
+std::uint64_t
+TraceCache::pinnedEntries() const
+{
+    std::lock_guard lock(state->mu);
+    std::uint64_t pinned = 0;
+    for (const Entry &e : state->lru)
+        pinned += e.refs > 0;
+    return pinned;
 }
 
 } // namespace siq::sim

@@ -16,9 +16,22 @@
  * would let a sweep finish arbitrarily far over the cap). Eviction
  * walks in LRU order over unpinned entries while resident bytes
  * exceed the cap; an over-subscribed cap therefore degrades to
- * trace-per-worker churn, never to a dangling trace. Handles must not
- * outlive the cache (the sweep runner owns both; cell workers hold
- * handles only while simulating).
+ * trace-per-worker churn, never to a dangling trace.
+ *
+ * Handle lifetime: every handle co-owns its trace *and* holds the
+ * cache's bookkeeping state through a weak_ptr, so handles may
+ * outlive the cache. Destroying a cache with outstanding handles
+ * (a serve-daemon restart while tenants still simulate) simply orphans
+ * those traces — each lives until its last handle drops, and the late
+ * deleter finds the state expired instead of touching freed memory.
+ *
+ * Accounting: resident bytes are maintained as a running counter —
+ * each entry carries the byte count last folded into the total
+ * (`bytesSeen`), refreshed whenever that entry is touched (hit,
+ * release). Only pinned entries can grow, and every pin ends in a
+ * release, so the counter is exact whenever no handle is live and
+ * lags only un-released growth otherwise. Debug builds re-verify the
+ * invariant after every mutation.
  */
 
 #ifndef SIQ_SIM_TRACE_CACHE_HH
@@ -40,12 +53,20 @@ class TraceCache
 {
   public:
     /** @p capBytes bounds resident arena bytes (0 = unbounded). */
-    explicit TraceCache(std::uint64_t capBytes) : cap(capBytes) {}
+    explicit TraceCache(std::uint64_t capBytes);
+
+    /** Warns (does not abort) when handles are still outstanding;
+     *  those traces stay alive until their handles drop. */
+    ~TraceCache();
+
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
 
     /**
      * The trace for @p prog's content, building it on a miss. The
      * returned handle pins the trace against eviction until every
-     * copy is destroyed; it must not outlive the cache.
+     * copy is destroyed, and keeps the trace (though not the cache
+     * slot) alive even if the cache is destroyed first.
      */
     std::shared_ptr<FuncTrace> get(std::shared_ptr<const Program> prog);
 
@@ -54,8 +75,11 @@ class TraceCache
     std::uint64_t builds() const;
     std::uint64_t hits() const;
     std::uint64_t evicted() const;
-    /** Arena bytes currently resident across all cached traces. */
+    /** Arena bytes currently resident across all cached traces;
+     *  refreshes pinned-entry growth, so the report is live. */
     std::uint64_t residentBytes() const;
+    /** Entries currently pinned by outstanding handles. */
+    std::uint64_t pinnedEntries() const;
     /// @}
 
   private:
@@ -63,22 +87,43 @@ class TraceCache
     {
         std::uint64_t key;
         std::shared_ptr<FuncTrace> trace;
-        std::uint64_t refs = 0; ///< outstanding handles
+        std::uint64_t refs = 0;      ///< outstanding handles
+        std::uint64_t bytesSeen = 0; ///< bytes folded into `resident`
     };
 
-    /** Handle deleter callback: unpin @p key, re-enforce the cap. */
-    void release(std::uint64_t key);
+    /**
+     * All bookkeeping, held by shared_ptr so handle deleters can
+     * observe cache destruction through a weak_ptr instead of
+     * dereferencing a dangling `this`.
+     */
+    struct State
+    {
+        explicit State(std::uint64_t capBytes) : cap(capBytes) {}
 
-    /** Evict LRU unpinned entries while over the cap; `mu` held. */
-    void enforceCap();
+        /** Handle deleter callback: unpin @p key, re-enforce cap. */
+        void release(std::uint64_t key);
 
-    const std::uint64_t cap;
-    mutable std::mutex mu;
-    std::list<Entry> lru; ///< front = most recently used
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
-    std::uint64_t _builds = 0;
-    std::uint64_t _hits = 0;
-    std::uint64_t _evicted = 0;
+        /** Fold @p e's current size into the running counter. */
+        void refreshBytes(Entry &e);
+
+        /** Evict LRU unpinned entries while over the cap. */
+        void enforceCap();
+
+        /** Debug-only: running counter matches the recomputed sum. */
+        void checkResident() const;
+
+        const std::uint64_t cap;
+        mutable std::mutex mu;
+        std::list<Entry> lru; ///< front = most recently used
+        std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+            index;
+        std::uint64_t resident = 0; ///< running Σ bytesSeen
+        std::uint64_t _builds = 0;
+        std::uint64_t _hits = 0;
+        std::uint64_t _evicted = 0;
+    };
+
+    std::shared_ptr<State> state;
 };
 
 } // namespace siq::sim

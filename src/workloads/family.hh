@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.hh"
 #include "workloads/workloads.hh"
 
 namespace siq::workloads
@@ -115,6 +116,11 @@ struct WorkloadSpec
      */
     static WorkloadSpec parse(const std::string &text);
 
+    /** Recoverable parse(): validation failures come back as an
+     *  error Result carrying the same message fatal() would have
+     *  raised. For untrusted request bytes (sim/serve.cc). */
+    static Result<WorkloadSpec> tryParse(const std::string &text);
+
     /** The canonical string form (see file comment). Fatal when the
      *  spec does not validate against the registry. */
     std::string canonical() const;
@@ -184,6 +190,9 @@ std::vector<std::string> familyNames();
 /** parse(text).canonical() — the one-call validator/normalizer the
  *  engine and CLI apply to every benchmark-axis entry. */
 std::string canonicalWorkload(const std::string &text);
+
+/** Recoverable canonicalWorkload for untrusted inputs. */
+Result<std::string> tryCanonicalWorkload(const std::string &text);
 
 /** Generate the program for a parsed workload spec. */
 Program generate(const WorkloadSpec &spec, const WorkloadParams &params);

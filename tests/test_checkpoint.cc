@@ -378,6 +378,71 @@ TEST(Checkpoint, CorruptOrConflictingCheckpointsAreFatal)
                  FatalError);
 }
 
+TEST(Checkpoint, TruncatedCheckpointIsReRunNotMerged)
+{
+    // a power cut after rename but before the data hit disk can leave
+    // a published checkpoint truncated; resume must treat it as
+    // missing and re-simulate that one cell, never merge garbage
+    const auto spec = tinySpec();
+    ScratchDir scratch("truncated");
+    sim::ExperimentRunner first;
+    const auto full = sim::runWithCheckpoints(first, spec, {0, 1},
+                                              scratch.path);
+    ASSERT_TRUE(full.complete);
+
+    const fs::path victim =
+        scratch.path / "cells" / sim::checkpointFileName(spec, 2);
+    const auto size = fs::file_size(victim);
+    fs::resize_file(victim, size / 2);
+
+    // the scan sees every cell except the damaged one
+    const auto have = sim::scanCheckpoints(scratch.path, spec);
+    ASSERT_EQ(have.size(), 4u);
+    for (std::size_t i = 0; i < have.size(); i++)
+        EXPECT_EQ(have[i], i != 2u) << "cell " << i;
+
+    // resume re-runs exactly that cell and the merge is byte-equal
+    // to an unsharded run
+    sim::ExperimentRunner second;
+    const auto resumed = sim::runWithCheckpoints(second, spec, {0, 1},
+                                                 scratch.path);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.cellsRun, 1u);
+    EXPECT_EQ(resumed.cellsResumed, 3u);
+    sim::ExperimentRunner plain;
+    EXPECT_EQ(jsonOf(resumed.merged), jsonOf(plain.run(spec)));
+}
+
+TEST(Checkpoint, StaleTmpFilesOfDeadProcessesAreReaped)
+{
+    const auto spec = tinySpec();
+    ScratchDir scratch("staletmp");
+    sim::initRunDir(scratch.path, spec);
+    const fs::path cells = scratch.path / "cells";
+    fs::create_directories(cells);
+
+    // 99999999 exceeds the kernel's pid_max; kill(pid, 0) => ESRCH,
+    // so the scan classifies its leftovers as a crashed shard's
+    const fs::path dead =
+        cells / (sim::checkpointFileName(spec, 0) + ".tmp.99999999.0");
+    // our own pid is alive: a concurrent shard mid-write, keep it
+    const fs::path live =
+        cells / (sim::checkpointFileName(spec, 1) + ".tmp." +
+                 std::to_string(::getpid()) + ".0");
+    // unparseable pid field: leave it alone rather than guess
+    const fs::path odd =
+        cells / (sim::checkpointFileName(spec, 2) + ".tmp.x.0");
+    for (const auto &p : {dead, live, odd})
+        std::ofstream(p) << "half-writ";
+
+    const auto have = sim::scanCheckpoints(scratch.path, spec);
+    for (bool h : have)
+        EXPECT_FALSE(h); // tmp files are never published cells
+    EXPECT_FALSE(fs::exists(dead));
+    EXPECT_TRUE(fs::exists(live));
+    EXPECT_TRUE(fs::exists(odd));
+}
+
 TEST(Checkpoint, MissingCellsAreFatal)
 {
     const auto spec = tinySpec();
