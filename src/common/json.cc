@@ -196,20 +196,30 @@ class Parser
     Value
     value()
     {
+        // recursive descent over possibly untrusted bytes (the serve
+        // daemon feeds socket input here): bound the recursion so a
+        // deeply nested '[[[[…' line is a FatalError the request
+        // boundary can catch, not a stack overflow
+        if (depth >= kMaxDepth)
+            fatal("JSON: nesting deeper than ", kMaxDepth,
+                  " levels at offset ", pos);
+        depth++;
+        Value v;
         const char c = peek();
         if (c == '{')
-            return object();
-        if (c == '[')
-            return array();
-        if (c == '"')
-            return string();
-        if (c == 't' || c == 'f')
-            return boolean();
-        if (c == 'n') {
+            v = object();
+        else if (c == '[')
+            v = array();
+        else if (c == '"')
+            v = string();
+        else if (c == 't' || c == 'f')
+            v = boolean();
+        else if (c == 'n')
             literal("null");
-            return {};
-        }
-        return number();
+        else
+            v = number();
+        depth--;
+        return v;
     }
 
     void
@@ -346,8 +356,11 @@ class Parser
         }
     }
 
+    static constexpr int kMaxDepth = 256;
+
     const std::string &s;
     std::size_t pos = 0;
+    int depth = 0;
 };
 
 } // namespace

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +55,25 @@ class RecordQueue
         std::unique_lock lock(mu);
         notFull.wait(lock,
                      [&] { return discarding || q.size() < cap; });
+        if (discarding)
+            return false;
+        q.push_back(std::move(rec));
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /** push with a bounded wait: false when the queue stayed full
+     *  for @p timeout (or is discarding). The cross-client fan-out
+     *  path uses this so one tenant's unread queue cannot park
+     *  another tenant's simulation worker forever. */
+    bool
+    pushFor(std::string rec, std::chrono::milliseconds timeout)
+    {
+        std::unique_lock lock(mu);
+        if (!notFull.wait_for(lock, timeout, [&] {
+                return discarding || q.size() < cap;
+            }))
+            return false;
         if (discarding)
             return false;
         q.push_back(std::move(rec));
@@ -134,6 +154,12 @@ chomp(std::string s)
     return s;
 }
 
+/** Hard cap on one request line. Generous — the largest realistic
+ *  spec is a few hundred KiB — but bounded, so an unframed or
+ *  malicious sender cannot grow the connection buffer (or the JSON
+ *  parse) without limit. */
+constexpr std::size_t kMaxRequestBytes = 16u << 20; // 16 MiB
+
 } // namespace
 
 // ------------------------------------------------------ client state
@@ -151,6 +177,11 @@ struct ServeEngine::Client::State
     std::mutex mu; ///< guards everything below
     std::unordered_map<std::string, std::shared_ptr<Request>> active;
     std::vector<std::thread> threads;
+    /** finished request threads, parked here by finishRequest() and
+     *  joined on the next submitLine (or in ~Client): a long-lived
+     *  connection must not retain one joinable thread per request it
+     *  ever submitted */
+    std::vector<std::thread> doneThreads;
     bool noMoreInput = false;
 
     /** queue.close() once input ended and the last request drained;
@@ -161,6 +192,12 @@ struct ServeEngine::Client::State
         if (noMoreInput && active.empty())
             queue.close();
     }
+
+    /** Reader hung up — or proved chronically slow on the fan-out
+     *  path: discard the queue, unblock producers, cancel every
+     *  request. Idempotent. Defined after Request (it touches the
+     *  cancelled flag). */
+    void hardClose();
 };
 
 namespace
@@ -172,7 +209,8 @@ struct Request
 {
     enum class Plan : std::uint8_t {
         Undecided,
-        Simulate,  ///< we claimed the flight and run the cell
+        Simulate,  ///< we claimed the flight; not yet started
+        Running,   ///< claimed and confirmed at execution time
         Wait,      ///< attached to another request's flight
         Cached,    ///< answered from the completed-cell LRU
         Cancelled, ///< drained before execution
@@ -184,8 +222,17 @@ struct Request
 
     std::atomic<bool> cancelled{false};
 
-    // sized ncells before the sweep starts; distinct slots are only
-    // ever touched by one thread at a time (see shouldRun)
+    /** Serializes every shouldRun consult. The up-front pass is
+     *  serial anyway, but at execution time sweep.cc may consult one
+     *  cell from two replica workers concurrently (its verdict CAS
+     *  arbitrates the answers, not the hook's side effects), so the
+     *  per-cell decision must be made once, under this lock, and
+     *  then stick. */
+    std::mutex execMu;
+
+    // sized ncells before the sweep starts; written only under
+    // `execMu` (and read lock-free only after the sweep's workers
+    // have joined, or for slots that can no longer change)
     std::vector<Plan> plan;
     std::vector<std::shared_ptr<Flight>> flights;
     std::vector<std::shared_ptr<CellPayload>> cached;
@@ -195,6 +242,19 @@ struct Request
 };
 
 } // namespace
+
+void
+ServeEngine::Client::State::hardClose()
+{
+    // shut the queue down before taking `mu`: a request thread may be
+    // blocked inside push() while holding `mu` (handleLine), and the
+    // shutdown is what unblocks it
+    queue.shutdown();
+    std::lock_guard lock(mu);
+    noMoreInput = true;
+    for (auto &[id, req] : active)
+        req->cancelled.store(true, std::memory_order_relaxed);
+}
 
 // ------------------------------------------------------------ engine
 
@@ -243,14 +303,10 @@ struct ServeEngine::Impl
         emitRaw(client, os.str());
     }
 
-    /** The per-cell record: checkpoint-schema payload under the
-     *  request's id. Skipped for cancelled requests. */
-    void
-    emitCell(const std::shared_ptr<Request> &req, std::size_t index,
-             const CellPayload &payload)
+    static std::string
+    cellRecord(const std::shared_ptr<Request> &req, std::size_t index,
+               const CellPayload &payload)
     {
-        if (req->cancelled.load(std::memory_order_relaxed))
-            return;
         CellCheckpoint ckpt;
         ckpt.index = index;
         ckpt.seeds = payload.seeds;
@@ -261,7 +317,40 @@ struct ServeEngine::Impl
         os << "{\"id\":" << json::quote(req->id)
            << ",\"event\":\"cell\",\"checkpoint\":"
            << chomp(toJson(ckpt)) << "}";
-        emitRaw(req->client, os.str());
+        return os.str();
+    }
+
+    /** The per-cell record on the request's own stream: checkpoint
+     *  payload under the request's id, blocking backpressure (a slow
+     *  reader throttles its own work). Skipped when cancelled. */
+    void
+    emitCell(const std::shared_ptr<Request> &req, std::size_t index,
+             const CellPayload &payload)
+    {
+        if (req->cancelled.load(std::memory_order_relaxed))
+            return;
+        emitRaw(req->client, cellRecord(req, index, payload));
+    }
+
+    /** Fan a shared cell out to a waiter, typically on another
+     *  connection: bounded wait, then hard-close — the simulating
+     *  worker belongs to a different tenant, and a waiter that has
+     *  stopped reading must not park it forever. */
+    void
+    emitCellToWaiter(const std::shared_ptr<Request> &req,
+                     std::size_t index, const CellPayload &payload)
+    {
+        if (req->cancelled.load(std::memory_order_relaxed))
+            return;
+        std::string rec = cellRecord(req, index, payload);
+        const bool delivered =
+            opts.fanoutWaitMs == 0
+                ? req->client->queue.push(std::move(rec))
+                : req->client->queue.pushFor(
+                      std::move(rec),
+                      std::chrono::milliseconds(opts.fanoutWaitMs));
+        if (!delivered)
+            req->client->hardClose();
     }
 
     // ------------------------------------------------- dedupe store
@@ -421,12 +510,20 @@ struct ServeEngine::Impl
                 p.hasAgg = true;
                 p.seeds = static_cast<int>(agg->n);
             }
-            const auto waiters = publish(req->flights[i], p);
+            const auto flight = req->flights[i];
             req->nSim.fetch_add(1, std::memory_order_relaxed);
+            if (!flight) {
+                // defensive: a cell the hook abandoned should never
+                // reach onCellDone (the execution-time decision is
+                // sticky); if one does, report to our client only
+                emitCell(req, i, p);
+                return;
+            }
+            const auto waiters = publish(flight, p);
             emitCell(req, i, p);
             for (const auto &w : waiters)
-                emitCell(w.req, w.index, p);
-            finishFlight(req->flights[i], p);
+                emitCellToWaiter(w.req, w.index, p);
+            finishFlight(flight, p);
         };
 
         SweepResult result;
@@ -436,7 +533,8 @@ struct ServeEngine::Impl
             // a cell blew up (or a hook did): release anyone waiting
             // on our claims, then report to our own client only
             for (std::size_t i = 0; i < ncells; i++) {
-                if (req->plan[i] == Request::Plan::Simulate &&
+                if ((req->plan[i] == Request::Plan::Simulate ||
+                     req->plan[i] == Request::Plan::Running) &&
                     req->flights[i])
                     fail(req->flights[i], e.what());
             }
@@ -509,9 +607,19 @@ struct ServeEngine::Impl
     bool
     shouldRunCell(const std::shared_ptr<Request> &req, std::size_t i)
     {
-        if (req->plan[i] == Request::Plan::Undecided) {
-            // up-front pass: runs serially on the request thread
-            // before any worker spawns
+        // every consult runs under execMu: with seeds > 1 two
+        // replica workers can consult the same cell concurrently
+        // (sweep.cc's verdict CAS only arbitrates the answers), so
+        // the execution-time decision is made exactly once and then
+        // sticks — all consults of a cell agree, the CAS can never
+        // adopt a minority verdict, and the abandon transition
+        // (which fails the flight and drops it) cannot race another
+        // worker's read of plan[i]/flights[i]
+        std::lock_guard lock(req->execMu);
+        switch (req->plan[i]) {
+          case Request::Plan::Undecided: {
+            // up-front pass: serial, on the request thread, before
+            // any worker spawns
             if (req->cancelled.load(std::memory_order_relaxed)) {
                 req->plan[i] = Request::Plan::Cancelled;
                 req->nCancelled.fetch_add(1,
@@ -537,20 +645,23 @@ struct ServeEngine::Impl
                 return true;
             }
             return true; // unreachable
+          }
+          case Request::Plan::Simulate:
+            break; // first execution-time consult: decide below
+          case Request::Plan::Running:
+            return true; // decided: a replica already committed
+          default:
+            return false; // Wait / Cached / Cancelled: never ours
         }
-        // execution-time re-consult (a worker thread; only cells the
-        // up-front pass claimed get here)
-        if (req->plan[i] != Request::Plan::Simulate)
-            return false;
-        if (!req->cancelled.load(std::memory_order_relaxed))
-            return true;
-        if (abandonIfUnwaited(req->flights[i])) {
+        if (req->cancelled.load(std::memory_order_relaxed) &&
+            abandonIfUnwaited(req->flights[i])) {
             req->plan[i] = Request::Plan::Cancelled;
             req->flights[i] = nullptr;
             req->nCancelled.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
-        return true; // someone is waiting on this cell: run it
+        req->plan[i] = Request::Plan::Running;
+        return true; // not cancelled, or a waiter needs this cell
     }
 
     void
@@ -564,6 +675,17 @@ struct ServeEngine::Impl
             stats_.cellsCancelled += req->nCancelled.load();
         }
         std::lock_guard lock(req->client->mu);
+        // retire this request's own thread handle so the next
+        // submitLine joins it; ~Client remains the backstop for the
+        // requests still running at disconnect
+        auto &ts = req->client->threads;
+        for (auto it = ts.begin(); it != ts.end(); ++it) {
+            if (it->get_id() == std::this_thread::get_id()) {
+                req->client->doneThreads.push_back(std::move(*it));
+                ts.erase(it);
+                break;
+            }
+        }
         req->client->active.erase(req->id);
         req->client->maybeFinish();
     }
@@ -576,6 +698,13 @@ struct ServeEngine::Impl
     {
         if (line.find_first_not_of(" \t\r") == std::string::npos)
             return; // blank keep-alive
+        if (line.size() > kMaxRequestBytes) {
+            emitError(client, "",
+                      "request line exceeds " +
+                          std::to_string(kMaxRequestBytes) +
+                          " bytes");
+            return;
+        }
 
         const auto doc = asResult([&] { return json::parse(line); });
         if (!doc) {
@@ -721,6 +850,11 @@ ServeEngine::optionsFromEnv()
         return Result<Options>::error(cache.error());
     opts.resultCacheCap = cache.value();
 
+    auto fanout = readSize("SIQSIM_SERVE_FANOUT_MS", 10000, 0);
+    if (!fanout)
+        return Result<Options>::error(fanout.error());
+    opts.fanoutWaitMs = fanout.value();
+
     // the runner reads these lazily mid-request; surface a malformed
     // environment at startup instead
     if (auto seeds = trySeedsFromEnv(); !seeds)
@@ -751,6 +885,9 @@ ServeEngine::Client::~Client()
     {
         std::lock_guard lock(state->mu);
         threads = std::move(state->threads);
+        for (auto &t : state->doneThreads)
+            threads.push_back(std::move(t));
+        state->doneThreads.clear();
     }
     for (auto &t : threads)
         t.join();
@@ -759,6 +896,16 @@ ServeEngine::Client::~Client()
 void
 ServeEngine::Client::submitLine(const std::string &line)
 {
+    // reap request threads that finished since the last line so a
+    // long-lived connection holds O(in-flight) thread handles, not
+    // O(requests ever submitted)
+    std::vector<std::thread> done;
+    {
+        std::lock_guard lock(state->mu);
+        done.swap(state->doneThreads);
+    }
+    for (auto &t : done)
+        t.join();
     state->engine->handleLine(state, line);
 }
 
@@ -773,14 +920,7 @@ ServeEngine::Client::endOfInput()
 void
 ServeEngine::Client::hardClose()
 {
-    // shut the queue down before taking `mu`: a request thread may be
-    // blocked inside push() while holding `mu` (handleLine), and the
-    // shutdown is what unblocks it
-    state->queue.shutdown();
-    std::lock_guard lock(state->mu);
-    state->noMoreInput = true;
-    for (auto &[id, req] : state->active)
-        req->cancelled.store(true, std::memory_order_relaxed);
+    state->hardClose();
 }
 
 bool
@@ -859,7 +999,8 @@ serveConnection(ServeEngine &engine, int fd)
 
     std::string buf;
     char chunk[4096];
-    while (true) {
+    bool overflow = false;
+    while (!overflow) {
         const ssize_t n = ::read(fd, chunk, sizeof(chunk));
         if (n < 0 && errno == EINTR)
             continue;
@@ -873,8 +1014,16 @@ serveConnection(ServeEngine &engine, int fd)
             start = nl + 1;
         }
         buf.erase(0, start);
+        if (buf.size() > kMaxRequestBytes) {
+            // a partial line that can no longer become an acceptable
+            // request: cut the connection instead of buffering an
+            // unbounded frame (handleLine enforces the same cap on
+            // complete lines, with an error record)
+            client->hardClose();
+            overflow = true;
+        }
     }
-    if (!buf.empty())
+    if (!overflow && !buf.empty())
         client->submitLine(buf);
     client->endOfInput();
     writer.join();
@@ -906,7 +1055,12 @@ serveUnixSocket(ServeEngine &engine, const std::string &path,
     if (ready)
         *ready << "listening on " << path << std::endl;
 
-    std::vector<std::thread> connections;
+    // finished connection threads park their id here and are joined
+    // on the next accept, so the daemon holds O(live connections)
+    // thread handles, not O(connections ever served)
+    std::list<std::thread> connections;
+    std::mutex reapMu;
+    std::vector<std::thread::id> finished;
     while (true) {
         const int conn = ::accept(fd, nullptr, nullptr);
         if (conn < 0) {
@@ -915,8 +1069,27 @@ serveUnixSocket(ServeEngine &engine, const std::string &path,
             warn("serve: accept(): ", std::strerror(errno));
             break;
         }
-        connections.emplace_back(
-            [&engine, conn] { serveConnection(engine, conn); });
+        std::vector<std::thread::id> ids;
+        {
+            std::lock_guard lock(reapMu);
+            ids.swap(finished);
+        }
+        for (const auto id : ids) {
+            for (auto it = connections.begin();
+                 it != connections.end(); ++it) {
+                if (it->get_id() == id) {
+                    it->join();
+                    connections.erase(it);
+                    break;
+                }
+            }
+        }
+        connections.emplace_back([&engine, &reapMu, &finished,
+                                  conn] {
+            serveConnection(engine, conn);
+            std::lock_guard lock(reapMu);
+            finished.push_back(std::this_thread::get_id());
+        });
     }
     for (auto &t : connections)
         t.join();

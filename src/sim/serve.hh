@@ -48,10 +48,13 @@
  * and friends), so one tenant's garbage never unwinds another
  * tenant's run.
  *
- * Backpressure: each client owns a bounded record queue. Producers
- * (request threads, fan-out from other requests' workers) block when
- * it is full, so a slow reader throttles its own simulations rather
- * than ballooning memory. hardClose() (reader hung up) discards the
+ * Backpressure: each client owns a bounded record queue. A request's
+ * own producers block when it is full, so a slow reader throttles its
+ * own simulations rather than ballooning memory. Cross-client fan-out
+ * (another request's worker delivering a shared cell) waits at most
+ * Options::fanoutWaitMs before hard-closing the laggard, so one
+ * tenant that stops reading can never stall another tenant's workers.
+ * hardClose() (reader hung up or chronically slow) discards the
  * queue, unblocks producers, and cancels the client's requests.
  *
  * Cancellation rides CellHooks::shouldRun's execution-time
@@ -87,10 +90,18 @@ class ServeEngine
         std::size_t queueCap = 256;
         /** Completed-cell LRU capacity, in cells (0 disables). */
         std::size_t resultCacheCap = 1024;
+        /** Max milliseconds a simulating worker waits to fan a
+         *  shared cell out to a waiter's full queue before treating
+         *  that client as dead and hard-closing it (0 = wait
+         *  forever). Backpressure on a request's *own* stream is
+         *  always unbounded — a slow reader throttles only its own
+         *  simulations. */
+        std::size_t fanoutWaitMs = 10000;
     };
 
     /** Options from SIQSIM_SERVE_JOBS / SIQSIM_SERVE_QUEUE /
-     *  SIQSIM_SERVE_RESULT_CACHE (validated up front — a daemon
+     *  SIQSIM_SERVE_RESULT_CACHE / SIQSIM_SERVE_FANOUT_MS
+     *  (validated up front — a daemon
      *  should refuse a malformed environment at startup, not die on
      *  request one). Also validates the engine-level knobs the
      *  runner reads lazily (SIQSIM_SEEDS, SIQSIM_TRACE_CACHE_MB). */

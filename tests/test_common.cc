@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -15,6 +16,24 @@ namespace siq
 {
 namespace
 {
+
+TEST(Json, ParseNestingDepthIsBounded)
+{
+    // a nesting bomb must surface as a recoverable FatalError — the
+    // serve daemon feeds untrusted socket bytes into this parser and
+    // catches FatalError at the request boundary — never as a
+    // stack overflow that kills every tenant
+    EXPECT_THROW(json::parse(std::string(100000, '[')), FatalError);
+    std::string objBomb;
+    for (int i = 0; i < 100000; i++)
+        objBomb += "{\"k\":";
+    EXPECT_THROW(json::parse(objBomb), FatalError);
+
+    // legitimate nesting well under the cap still parses
+    const std::string ok =
+        std::string(200, '[') + "1" + std::string(200, ']');
+    EXPECT_EQ(json::parse(ok).kind, json::Value::Kind::Array);
+}
 
 TEST(Stats, ScalarCountsAndResets)
 {

@@ -279,6 +279,116 @@ TEST(Serve, CompletedCellsServeFromTheResultCache)
     EXPECT_EQ(engine.stats().cellsCached, 1u);
 }
 
+TEST(Serve, OversizedRequestLineGetsAnErrorRecord)
+{
+    sim::ServeEngine engine({});
+    auto client = engine.connect();
+    // 16 MiB + 1 of garbage: rejected by the size cap before the
+    // JSON parser ever sees it
+    client->submitLine(std::string((16u << 20) + 1, 'x'));
+    client->endOfInput();
+    const auto recs = drain(*client);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(eventOf(recs[0]), "error");
+    EXPECT_NE(field(recs[0], "error").asString().find("exceeds"),
+              std::string::npos);
+    EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+TEST(Serve, CancelWithReplicaWorkersDrainsEachCellOnce)
+{
+    // seeds=2, jobs=2: both workers are inside cell 0's replicas
+    // when the cancel lands, and afterwards both hit cell 1's
+    // shouldRun near-simultaneously — the execution-time drain
+    // decision must be made exactly once (no double-counted
+    // nCancelled, no torn plan/flight state)
+    Gate gate;
+    workloads::ScopedFamily scoped(gatedFamily(gate));
+    sim::ServeEngine engine({});
+    auto client = engine.connect();
+
+    auto spec = baseSpec({"serve-gate", "gzip"});
+    spec.seeds = 2;
+    spec.jobs = 2;
+    client->submitLine(requestLine("c1", spec));
+    gate.awaitEntered(1);
+    client->submitLine("{\"cancel\":\"c1\"}");
+    gate.release();
+    client->endOfInput();
+
+    const auto recs = drain(*client);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(eventOf(recs[0]), "accepted");
+    EXPECT_EQ(eventOf(recs[1]), "done");
+    EXPECT_EQ(field(recs[1], "cancelled").asBool(), true);
+    EXPECT_EQ(field(recs[1], "cellsSimulated").asU64(), 1u);
+    EXPECT_EQ(field(recs[1], "cellsCancelled").asU64(), 1u);
+    EXPECT_EQ(engine.stats().cellsCancelled, 1u);
+}
+
+TEST(Serve, SlowWaiterIsHardClosedNotStalledOn)
+{
+    // B attaches to A's in-flight gzip cell but never reads its
+    // stream; with queueCap=1 its queue is already full (accepted
+    // record), so A's fan-out must time out and hard-close B instead
+    // of parking A's worker forever (pre-fix this test hangs)
+    Gate gate;
+    workloads::ScopedFamily scoped(gatedFamily(gate));
+    sim::ServeEngine::Options opts;
+    opts.queueCap = 1;
+    opts.resultCacheCap = 0;
+    opts.fanoutWaitMs = 50;
+    sim::ServeEngine engine(opts);
+
+    const auto specA = baseSpec({"serve-gate", "gzip"});
+    const auto specB = baseSpec({"gzip"});
+    auto a = engine.connect();
+    auto b = engine.connect();
+    a->submitLine(requestLine("a", specA));
+    gate.awaitEntered(1); // A's up-front pass claimed both cells
+    b->submitLine(requestLine("b", specB));
+    gate.release();
+    a->endOfInput();
+
+    // A must run to completion even though B never drains
+    const auto recsA = drain(*a);
+    ASSERT_EQ(recsA.size(), 4u);
+    EXPECT_EQ(eventOf(recsA[3]), "done");
+    EXPECT_EQ(field(recsA[3], "cellsSimulated").asU64(), 2u);
+    EXPECT_EQ(engine.stats().cellsShared, 1u);
+
+    // B was hard-closed: its queue is discarded and just ends
+    const auto recsB = drain(*b);
+    EXPECT_TRUE(recsB.empty());
+}
+
+TEST(Serve, SequentialRequestsReapFinishedThreads)
+{
+    // a long-lived connection submitting many requests must not
+    // accumulate joinable threads: each submitLine reaps the
+    // previous requests' handles (asserted structurally by TSan /
+    // ASan cleanliness; functionally every request still completes)
+    sim::ServeEngine engine({});
+    auto client = engine.connect();
+    const auto spec = baseSpec({"gzip"});
+    std::string line;
+    std::size_t done = 0;
+    for (int r = 0; r < 6; r++) {
+        client->submitLine(requestLine("r" + std::to_string(r),
+                                       spec));
+        while (client->nextRecord(line)) {
+            if (json::parse(line).at("event").asString() == "done") {
+                done++;
+                break;
+            }
+        }
+    }
+    client->endOfInput();
+    EXPECT_EQ(done, 6u);
+    EXPECT_EQ(engine.stats().cellsSimulated, 1u);
+    EXPECT_EQ(engine.stats().cellsCached, 5u);
+}
+
 TEST(Serve, CancelDrainsUnstartedCellsAndSuppressesExport)
 {
     Gate gate;
