@@ -72,6 +72,9 @@ spec options (grid axes and budgets; all optional):
   --jobs N                     worker threads (0 = SIQSIM_JOBS / cores)
   --scale N / --rep-divisor N  workload size knobs
   --seed N                     base workload seed
+  --speculative                model the real front end (gshare + BTB +
+                               RAS with wrong-path fetch and squash
+                               recovery) instead of the oracle
   --out FILE                   write the spec there instead of stdout
 
 run options:
@@ -344,6 +347,8 @@ cmdSpec(Args args)
             static_cast<int>(toLong("rep-divisor", *v));
     if (auto v = args.option("seed"))
         spec.base.workload.seed = toU64("seed", *v);
+    if (args.flag("speculative"))
+        spec.base.core.specFrontEnd = true;
     const std::string out = args.option("out").value_or("-");
     args.expectConsumed();
     writeOut(out, [&](std::ostream &os) {

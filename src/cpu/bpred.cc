@@ -5,17 +5,19 @@
 namespace siq
 {
 
-Bpred::Bpred(const BpredConfig &config) : _config(config)
+// ------------------------------------------------ DirectionPredictor
+
+DirectionPredictor::DirectionPredictor(std::uint32_t gshareEntries,
+                                       std::uint32_t bimodalEntries,
+                                       std::uint32_t selectorEntries)
 {
-    gshare.assign(config.gshareEntries, 1);   // weakly not-taken
-    bimodal.assign(config.bimodalEntries, 1);
-    selector.assign(config.selectorEntries, 2); // weakly gshare
-    btb.assign(config.btbEntries, {});
-    ras.assign(config.rasEntries, 0);
+    gshare.assign(gshareEntries, 1);   // weakly not-taken
+    bimodal.assign(bimodalEntries, 1);
+    selector.assign(selectorEntries, 2); // weakly gshare
 }
 
 std::uint32_t
-Bpred::counterUpdate(std::uint32_t ctr, bool taken)
+DirectionPredictor::counterUpdate(std::uint32_t ctr, bool taken)
 {
     if (taken)
         return ctr < 3 ? ctr + 1 : 3;
@@ -23,9 +25,8 @@ Bpred::counterUpdate(std::uint32_t ctr, bool taken)
 }
 
 bool
-Bpred::predictDirection(std::uint64_t pc) const
+DirectionPredictor::predict(std::uint64_t pc) const
 {
-    _lookups++;
     const std::uint64_t idx = pc >> 2;
     const auto g = gshare[(idx ^ history) % gshare.size()];
     const auto b = bimodal[idx % bimodal.size()];
@@ -34,7 +35,7 @@ Bpred::predictDirection(std::uint64_t pc) const
 }
 
 void
-Bpred::updateDirection(std::uint64_t pc, bool taken)
+DirectionPredictor::update(std::uint64_t pc, bool taken)
 {
     const std::uint64_t idx = pc >> 2;
     auto &g = gshare[(idx ^ history) % gshare.size()];
@@ -47,18 +48,32 @@ Bpred::updateDirection(std::uint64_t pc, bool taken)
     }
     g = static_cast<std::uint8_t>(counterUpdate(g, taken));
     b = static_cast<std::uint8_t>(counterUpdate(b, taken));
+    speculate(taken);
+}
+
+void
+DirectionPredictor::speculate(bool taken)
+{
     history = ((history << 1) | (taken ? 1 : 0)) &
               (gshare.size() - 1);
 }
 
-std::uint64_t
-Bpred::btbLookup(std::uint64_t pc) const
+// ------------------------------------------------------------- Btb
+
+Btb::Btb(std::uint32_t numEntries, std::uint32_t assoc) : _assoc(assoc)
 {
-    const std::size_t sets = btb.size() / _config.btbAssoc;
+    SIQ_ASSERT(assoc > 0 && numEntries % assoc == 0);
+    entries.assign(numEntries, {});
+}
+
+std::uint64_t
+Btb::lookup(std::uint64_t pc) const
+{
+    const std::size_t sets = entries.size() / _assoc;
     const std::size_t set = (pc >> 2) % sets;
     const std::uint64_t tag = (pc >> 2) / sets;
-    for (std::size_t w = 0; w < _config.btbAssoc; w++) {
-        const auto &e = btb[set * _config.btbAssoc + w];
+    for (std::size_t w = 0; w < _assoc; w++) {
+        const auto &e = entries[set * _assoc + w];
         if (e.valid && e.tag == tag)
             return e.target;
     }
@@ -66,49 +81,141 @@ Bpred::btbLookup(std::uint64_t pc) const
 }
 
 void
-Bpred::btbUpdate(std::uint64_t pc, std::uint64_t target)
+Btb::update(std::uint64_t pc, std::uint64_t target)
 {
-    const std::size_t sets = btb.size() / _config.btbAssoc;
+    const std::size_t sets = entries.size() / _assoc;
     const std::size_t set = (pc >> 2) % sets;
     const std::uint64_t tag = (pc >> 2) / sets;
-    btbUse++;
-    std::size_t victim = set * _config.btbAssoc;
+    use++;
+    std::size_t victim = set * _assoc;
     std::uint64_t lru = ~0ull;
-    for (std::size_t w = 0; w < _config.btbAssoc; w++) {
-        auto &e = btb[set * _config.btbAssoc + w];
+    for (std::size_t w = 0; w < _assoc; w++) {
+        auto &e = entries[set * _assoc + w];
         if (e.valid && e.tag == tag) {
             e.target = target;
-            e.lastUse = btbUse;
+            e.lastUse = use;
             return;
         }
-        const std::uint64_t use = e.valid ? e.lastUse : 0;
-        if (use < lru) {
-            lru = use;
-            victim = set * _config.btbAssoc + w;
+        const std::uint64_t u = e.valid ? e.lastUse : 0;
+        if (u < lru) {
+            lru = u;
+            victim = set * _assoc + w;
         }
     }
-    btb[victim] = {tag, target, btbUse, true};
+    entries[victim] = {tag, target, use, true};
+}
+
+// ------------------------------------------------------------- Ras
+
+Ras::Ras(std::uint32_t numEntries)
+{
+    stack.assign(numEntries, 0);
+}
+
+void
+Ras::push(std::uint64_t returnPc)
+{
+    if (top < stack.size()) {
+        stack[top++] = returnPc;
+    } else {
+        // overflow: shift (oldest entry lost)
+        for (std::size_t i = 1; i < stack.size(); i++)
+            stack[i - 1] = stack[i];
+        stack.back() = returnPc;
+    }
+}
+
+std::uint64_t
+Ras::pop()
+{
+    if (top == 0)
+        return 0;
+    return stack[--top];
+}
+
+void
+Ras::save(Snapshot &out) const
+{
+    out.stack = stack;
+    out.top = top;
+}
+
+void
+Ras::restore(const Snapshot &snap)
+{
+    SIQ_ASSERT(snap.stack.size() == stack.size() &&
+               snap.top <= stack.size());
+    stack = snap.stack;
+    top = snap.top;
+}
+
+// ----------------------------------------------------------- Bpred
+
+Bpred::Bpred(const BpredConfig &config)
+    : dir(config.gshareEntries, config.bimodalEntries,
+          config.selectorEntries),
+      _btb(config.btbEntries, config.btbAssoc),
+      _ras(config.rasEntries)
+{
+}
+
+bool
+Bpred::predictDirection(std::uint64_t pc) const
+{
+    _lookups++;
+    return dir.predict(pc);
+}
+
+void
+Bpred::updateDirection(std::uint64_t pc, bool taken)
+{
+    dir.update(pc, taken);
+}
+
+bool
+Bpred::speculateDirection(std::uint64_t pc)
+{
+    const bool taken = dir.predict(pc);
+    dir.speculate(taken);
+    return taken;
+}
+
+std::uint64_t
+Bpred::btbLookup(std::uint64_t pc) const
+{
+    return _btb.lookup(pc);
+}
+
+void
+Bpred::btbUpdate(std::uint64_t pc, std::uint64_t target)
+{
+    _btb.update(pc, target);
 }
 
 void
 Bpred::rasPush(std::uint64_t returnPc)
 {
-    if (rasTop < ras.size()) {
-        ras[rasTop++] = returnPc;
-    } else {
-        // overflow: shift (oldest entry lost)
-        for (std::size_t i = 1; i < ras.size(); i++)
-            ras[i - 1] = ras[i];
-        ras.back() = returnPc;
-    }
+    _ras.push(returnPc);
 }
 
 std::uint64_t
 Bpred::rasPop()
 {
-    if (rasTop == 0)
-        return 0;
-    return ras[--rasTop];
+    return _ras.pop();
+}
+
+void
+Bpred::save(BpredSnapshot &out) const
+{
+    out.history = dir.historyBits();
+    _ras.save(out.ras);
+}
+
+void
+Bpred::restore(const BpredSnapshot &snap)
+{
+    dir.setHistory(snap.history);
+    _ras.restore(snap.ras);
 }
 
 } // namespace siq

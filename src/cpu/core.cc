@@ -32,14 +32,14 @@ CompletionWheel::init(int maxLatency)
 }
 
 void
-CompletionWheel::popDue(std::uint64_t now, std::vector<int> &out)
+CompletionWheel::popDue(std::uint64_t now, std::vector<Completion> &out)
 {
     out.clear();
     auto &vec = slots[now & mask];
     std::size_t keep = 0;
     for (const Event &ev : vec) {
         if (ev.cycle == now)
-            out.push_back(ev.robIdx);
+            out.push_back({ev.robIdx, ev.gen});
         else
             vec[keep++] = ev; // beyond-horizon lap: keep, in order
     }
@@ -86,8 +86,25 @@ Core::Core(const Program &prog_, const CoreConfig &config,
     rob.assign(static_cast<std::size_t>(cfg.robSize), RobCold{});
     robHot.assign(static_cast<std::size_t>(cfg.robSize), RobHot{});
     robCompleted.assign(static_cast<std::size_t>(cfg.robSize), 0);
+    robGen.assign(static_cast<std::size_t>(cfg.robSize), 0);
     fetchQueue.assign(static_cast<std::size_t>(cfg.fetchQueueSize),
                       DynInst{});
+    if (cfg.specFrontEnd) {
+        // wrong-path fetch resolves predicted target PCs statically
+        for (std::size_t p = 0; p < prog.procs.size(); p++) {
+            const Procedure &proc = prog.procs[p];
+            for (std::size_t b = 0; b < proc.blocks.size(); b++) {
+                const BasicBlock &blk = proc.blocks[b];
+                for (std::size_t i = 0; i < blk.insts.size(); i++) {
+                    pcIndex.emplace(
+                        blk.insts[i].pc,
+                        PcLoc{&blk.insts[i], static_cast<int>(p),
+                              static_cast<int>(b),
+                              static_cast<int>(i)});
+                }
+            }
+        }
+    }
     // the wheel's one-lap horizon covers every latency the model can
     // produce: FU latencies plus the configured cache/memory path
     wheel.init(std::max({maxOpcodeLatency(), cfg.mem.l1d.hitLatency,
@@ -145,6 +162,10 @@ Core::predictControl(DynInst &di, std::uint64_t actualNext,
 
     bool mispredict = false;
     bool frontRedirect = false;
+    // where wrong-path fetch starts (speculative mode): the path the
+    // predictor chose, not the path the program took. 0 = the front
+    // end has nothing to follow (empty RAS, cold BTB) and gates.
+    std::uint64_t wpStart = 0;
 
     if (t.isBranch) {
         _stats.condBranches++;
@@ -152,6 +173,24 @@ Core::predictControl(DynInst &di, std::uint64_t actualNext,
         const std::uint64_t btbTarget = _bpred.btbLookup(pc);
         if (predTaken != sr.taken) {
             mispredict = true;
+            if (cfg.specFrontEnd) {
+                // direct branches resolve both targets at decode, so
+                // the wrong path is the other static arm
+                const PcLoc &loc = pcIndex.at(pc);
+                const BasicBlock &blk =
+                    prog.procs[loc.proc].blocks[loc.block];
+                if (sr.taken) {
+                    wpStart =
+                        loc.instIdx + 1 <
+                                static_cast<int>(blk.insts.size())
+                            ? blk.insts[loc.instIdx + 1].pc
+                            : blockStartPc(prog, loc.proc,
+                                           blk.fallthrough);
+                } else {
+                    wpStart =
+                        blockStartPc(prog, loc.proc, si.target);
+                }
+            }
         } else if (sr.taken && btbTarget != actualNext) {
             // right direction, target resolved at decode
             frontRedirect = true;
@@ -168,12 +207,16 @@ Core::predictControl(DynInst &di, std::uint64_t actualNext,
             _bpred.rasPush(rasPush);
     } else if (si.op == Opcode::Ret) {
         const std::uint64_t predicted = _bpred.rasPop();
-        if (predicted != actualNext && !sr.halted)
+        if (predicted != actualNext && !sr.halted) {
             mispredict = true;
+            wpStart = predicted;
+        }
     } else if (si.op == Opcode::IJump) {
         const std::uint64_t btbTarget = _bpred.btbLookup(pc);
-        if (btbTarget != actualNext)
+        if (btbTarget != actualNext) {
             mispredict = true;
+            wpStart = btbTarget;
+        }
         _bpred.btbUpdate(pc, actualNext);
     }
 
@@ -181,6 +224,11 @@ Core::predictControl(DynInst &di, std::uint64_t actualNext,
         di.stallsFetch = true;
         _stats.branchMispredicts++;
         _bpred.countMispredict();
+        // arm after the branch's own predictor update: the snapshot
+        // taken here is the exact state correct-path fetch resumes
+        // from, so the squash undoes only wrong-path training
+        if (cfg.specFrontEnd)
+            armWrongPath(wpStart);
     } else if (frontRedirect) {
         _stats.frontRedirects++;
         fetchResumeCycle = now + static_cast<std::uint64_t>(
@@ -219,7 +267,14 @@ void
 Core::writebackStage()
 {
     wheel.popDue(now, wbScratch);
-    for (const int robIdx : wbScratch) {
+    for (const auto &ev : wbScratch) {
+        // an event scheduled under a generation a squash has since
+        // bumped belongs to a flushed entry (possibly re-dispatched):
+        // discard it. Re-checked per event, not once per batch — the
+        // squash below may invalidate later events of this same cycle.
+        if (ev.gen != robGen[ev.robIdx])
+            continue;
+        const int robIdx = ev.robIdx;
         const RobHot &h = robHot[robIdx];
         robCompleted[robIdx] = 1;
         if (h.pdstHandle >= 0) {
@@ -235,6 +290,8 @@ Core::writebackStage()
         if (h.flags & robFlagStore)
             lsq.markCompleted(h.lsqIdx);
         if (h.flags & robFlagStallsFetch) {
+            if (cfg.specFrontEnd)
+                squashWrongPath();
             fetchBlocked = false;
             fetchResumeCycle =
                 std::max<std::uint64_t>(fetchResumeCycle, now + 1);
@@ -265,12 +322,15 @@ Core::issueStage()
         if ((h.flags & robFlagLoad) && lsq.loadBlocked(h.lsqIdx))
             continue;
 
+        const bool wrongPath = (h.flags & robFlagWrongPath) != 0;
         int latency = h.latency;
         if (h.flags & robFlagLoad) {
-            _stats.loads++;
+            if (!wrongPath)
+                _stats.loads++;
             if (lsq.loadForwards(h.lsqIdx)) {
                 latency = 1;
-                _stats.loadForwards++;
+                if (!wrongPath)
+                    _stats.loadForwards++;
             } else {
                 latency = mem.dataAccess(h.memAddr * 8);
             }
@@ -286,7 +346,7 @@ Core::issueStage()
         if (h.flags & (robFlagLoad | robFlagStore))
             lsq.markIssued(h.lsqIdx);
         wheel.schedule(now + static_cast<std::uint64_t>(latency),
-                       cand.robIdx);
+                       cand.robIdx, robGen[cand.robIdx]);
 
         if (h.psrc1 >= 0) {
             if (h.psrc1 >= regHandleStride)
@@ -300,7 +360,10 @@ Core::issueStage()
             else
                 _stats.rfIntReads++;
         }
-        _stats.issued++;
+        if (wrongPath)
+            _stats.wrongPathIssued++;
+        else
+            _stats.issued++;
         if (regionAtStart - 1 - cand.distFromHead < cfg.iq.bankSize)
             signals.issuedFromYoungestBank++;
     }
@@ -317,10 +380,16 @@ Core::dispatchStage()
             break;
 
         // special NOOPs are stripped here, in the last decode stage,
-        // consuming a dispatch slot (paper §5.2.1)
+        // consuming a dispatch slot (paper §5.2.1). A wrong-path hint
+        // must not retrain the IQ sizing — the squash cannot undo an
+        // applyHint — so it only burns the slot.
         if (front.si->op == Opcode::Hint) {
-            iq.applyHint(front.si->hintValue);
-            _stats.hintsApplied++;
+            if (front.wrongPath) {
+                _stats.wrongPathDispatched++;
+            } else {
+                iq.applyHint(front.si->hintValue);
+                _stats.hintsApplied++;
+            }
             fqPop();
             dispatched++;
             continue;
@@ -402,7 +471,7 @@ Core::dispatchStage()
         if (t.isLoad || t.isStore)
             front.lsqIdx = lsq.allocate(t.isStore,
                                         front.step.memAddr, robIdx);
-        if (t.isStore)
+        if (t.isStore && !front.wrongPath)
             _stats.stores++;
         if (needsIq) {
             iq.dispatch(robIdx, front.psrc1, ready1, front.psrc2,
@@ -423,24 +492,42 @@ Core::dispatchStage()
             (t.pipelined ? robFlagPipelined : 0) |
             (t.isLoad ? robFlagLoad : 0) |
             (t.isStore ? robFlagStore : 0) |
-            (front.stallsFetch ? robFlagStallsFetch : 0));
+            (front.stallsFetch ? robFlagStallsFetch : 0) |
+            (front.wrongPath ? robFlagWrongPath : 0));
         // Nop/Halt never execute: complete at dispatch
         robCompleted[robIdx] = needsIq ? 0 : 1;
+        // the mispredicted branch just renamed itself: the maps are
+        // now exactly the state the squash must restore (wrong-path
+        // instructions sit behind it and dispatch strictly later)
+        if (cfg.specFrontEnd && front.stallsFetch) {
+            ckpt.branchRobIdx = robIdx;
+            intRegs.snapshotMap(ckpt.intMap);
+            fpRegs.snapshotMap(ckpt.fpMap);
+        }
         fqPop();
         robTail = robTail + 1 == cfg.robSize ? 0 : robTail + 1;
         robCount++;
         dispatched++;
-        _stats.dispatched++;
+        if (front.wrongPath)
+            _stats.wrongPathDispatched++;
+        else
+            _stats.dispatched++;
     }
 }
 
 void
 Core::fetchStage()
 {
-    if (fetchDone || fetchBlocked || now < fetchResumeCycle ||
-        now < icacheReadyCycle) {
+    if (now < fetchResumeCycle || now < icacheReadyCycle)
+        return;
+    // while a mispredicted branch is in flight the front end follows
+    // the predicted path; fetchBlocked gates only the correct path
+    if (wpActive) {
+        wrongPathFetchStage();
         return;
     }
+    if (fetchDone || fetchBlocked)
+        return;
     int fetched = 0;
     while (fetched < cfg.fetchWidth &&
            fqCount < cfg.fetchQueueSize && !streamHalted()) {
@@ -472,6 +559,7 @@ Core::fetchStage()
         di.lsqIdx = -1;
         di.hintApplied = false;
         di.stallsFetch = false;
+        di.wrongPath = false;
         std::uint64_t actualNext;
         std::uint64_t rasPush = 0;
         if (replay != nullptr) {
@@ -519,6 +607,269 @@ Core::fetchStage()
         if (redirected || taken)
             break; // cannot fetch past a taken control this cycle
     }
+}
+
+void
+Core::armWrongPath(std::uint64_t startPc)
+{
+    // mispredicts are only detected at correct-path fetch, which is
+    // paused until this one resolves — checkpoints cannot nest
+    SIQ_ASSERT(!wpActive, "nested mispredict checkpoint");
+    wpActive = true;
+    wpStalled = startPc == 0;
+    wpPc = startPc;
+    ckpt.armCycle = now;
+    ckpt.branchRobIdx = -1;
+    _bpred.save(ckpt.bpred);
+}
+
+void
+Core::wrongPathFetchStage()
+{
+    if (wpStalled)
+        return;
+    int fetched = 0;
+    while (fetched < cfg.fetchWidth && fqCount < cfg.fetchQueueSize) {
+        const auto it = pcIndex.find(wpPc);
+        if (it == pcIndex.end()) {
+            // a stale BTB/RAS entry predicted a PC that is no longer
+            // (or never was) an instruction: misfetch, gate until the
+            // squash
+            wpStalled = true;
+            return;
+        }
+        const PcLoc &loc = it->second;
+        const std::uint64_t line = wpPc / cfg.mem.l1i.lineBytes;
+        if (line != lastFetchLine) {
+            const int latency = mem.instAccess(wpPc);
+            lastFetchLine = line;
+            if (latency > 1) {
+                icacheReadyCycle =
+                    now + static_cast<std::uint64_t>(latency);
+                return;
+            }
+        }
+
+        DynInst &di = fetchQueue[fqTail];
+        di.oldPdst = -1;
+        di.lsqIdx = -1;
+        // hintApplied pre-set: tag hints are correct-path-only (like
+        // Hint NOOPs, their applyHint cannot be undone by the squash)
+        di.hintApplied = true;
+        di.stallsFetch = false;
+        di.wrongPath = true;
+        di.si = loc.si;
+        di.seq = seqCounter++;
+        di.pc = wpPc;
+        di.step = StepResult{};
+        di.step.inst = loc.si;
+        // loads/stores need an address; the architectural one does
+        // not exist (the op never really executes)
+        di.step.memAddr = wrongPathMemAddr(wpPc);
+        di.decodeReadyCycle =
+            now + static_cast<std::uint64_t>(cfg.decodeDepth);
+
+        const WpNext nxt = wrongPathNextPc(loc);
+
+        fqTail = fqTail + 1 == cfg.fetchQueueSize ? 0 : fqTail + 1;
+        fqCount++;
+        _stats.wrongPathFetched++;
+        fetched++;
+
+        if (nxt.pc == 0) {
+            // halt, dead-end fallthrough chain, empty RAS or cold BTB
+            wpStalled = true;
+            return;
+        }
+        wpPc = nxt.pc;
+        if (nxt.taken)
+            return; // cannot fetch past a taken control this cycle
+    }
+}
+
+Core::WpNext
+Core::wrongPathNextPc(const PcLoc &loc)
+{
+    const StaticInst &si = *loc.si;
+    const BasicBlock &blk = prog.procs[loc.proc].blocks[loc.block];
+    // sequential successor in the static layout
+    const auto seqPc = [&]() -> std::uint64_t {
+        if (loc.instIdx + 1 < static_cast<int>(blk.insts.size()))
+            return blk.insts[loc.instIdx + 1].pc;
+        return blockStartPc(prog, loc.proc, blk.fallthrough);
+    };
+    if (si.traits().isBranch) {
+        // predictor-guided: shifts speculative history (restored at
+        // the squash) but trains no table — the outcome is unknown
+        const bool taken = _bpred.speculateDirection(si.pc);
+        if (taken)
+            return {blockStartPc(prog, loc.proc, si.target), true};
+        return {seqPc(), false};
+    }
+    switch (si.op) {
+    case Opcode::Jump:
+        return {blockStartPc(prog, loc.proc, si.target), true};
+    case Opcode::Call:
+        // same push value as correct-path fetch (the caller block's
+        // fallthrough); block 0 is the callee's entry
+        _bpred.rasPush(
+            blockStartPc(prog, loc.proc, blk.fallthrough));
+        return {blockStartPc(prog, si.target, 0), true};
+    case Opcode::Ret:
+        return {_bpred.rasPop(), true};
+    case Opcode::IJump:
+        return {_bpred.btbLookup(si.pc), true};
+    case Opcode::Halt:
+        return {0, true};
+    default:
+        return {seqPc(), false};
+    }
+}
+
+std::uint64_t
+Core::wrongPathMemAddr(std::uint64_t pc) const
+{
+    // splitmix64 finalizer: deterministic, well-spread synthetic word
+    // address — same pc, same address, every run and thread count
+    std::uint64_t z = pc + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z % prog.memWords;
+}
+
+void
+Core::squashWrongPath()
+{
+    SIQ_ASSERT(wpActive, "squash without an armed wrong path");
+    SIQ_ASSERT(ckpt.branchRobIdx >= 0,
+               "branch resolved before it dispatched");
+
+    // flush ROB entries younger than the branch (walk oldest-first
+    // from just past it to the tail), releasing the fresh physical
+    // register each one allocated — its previous mapping returns via
+    // the checkpointed map below
+    int flushed = 0;
+    int iqDispatches = 0;
+    int lsqEntries = 0;
+    int idx = ckpt.branchRobIdx + 1 == cfg.robSize
+                  ? 0
+                  : ckpt.branchRobIdx + 1;
+    while (idx != robTail) {
+        const RobHot &h = robHot[idx];
+        SIQ_ASSERT(h.flags & robFlagWrongPath,
+                   "correct-path entry younger than the mispredict");
+        if (h.pdstHandle >= 0) {
+            if (h.pdstHandle >= regHandleStride)
+                fpRegs.release(h.pdstHandle - regHandleStride);
+            else
+                intRegs.release(h.pdstHandle);
+        }
+        if (rob[idx].si->traits().fu != FuClass::None)
+            iqDispatches++;
+        if (h.flags & (robFlagLoad | robFlagStore))
+            lsqEntries++;
+        robGen[idx]++; // invalidate any in-flight completion event
+        robCompleted[idx] = 0;
+        flushed++;
+        idx = idx + 1 == cfg.robSize ? 0 : idx + 1;
+    }
+    robTail = ckpt.branchRobIdx + 1 == cfg.robSize
+                  ? 0
+                  : ckpt.branchRobIdx + 1;
+    robCount -= flushed;
+
+    iq.squashTail(iqDispatches);
+    lsq.squashTail(lsqEntries);
+
+    // the fetch queue holds only wrong-path instructions: everything
+    // fetched before the branch dispatched before it (in order), and
+    // correct-path fetch has been paused since
+    const int fqFlushed = fqCount;
+    for (int i = 0, s = fqHead; i < fqCount;
+         i++, s = s + 1 == cfg.fetchQueueSize ? 0 : s + 1) {
+        SIQ_ASSERT(fetchQueue[s].wrongPath,
+                   "correct-path instruction behind the mispredict");
+    }
+    fqTail = fqHead;
+    fqCount = 0;
+
+    intRegs.restoreMap(ckpt.intMap);
+    fpRegs.restoreMap(ckpt.fpMap);
+    _bpred.restore(ckpt.bpred);
+
+    _stats.squashes++;
+    _stats.squashCycles += now - ckpt.armCycle;
+    _stats.squashedInsts +=
+        static_cast<std::uint64_t>(flushed + fqFlushed);
+
+    wpActive = false;
+    wpStalled = false;
+    wpPc = 0;
+    ckpt.branchRobIdx = -1;
+    // lastFetchLine stays: the wrong path really did pull its lines
+    // into the icache (pollution is part of the model)
+}
+
+void
+Core::auditArchState() const
+{
+    SIQ_ASSERT(robCount >= 0 && robCount <= cfg.robSize,
+               "ROB count out of range: ", robCount);
+    SIQ_ASSERT((robHead + robCount) % cfg.robSize == robTail,
+               "ROB ring pointers inconsistent");
+    SIQ_ASSERT(fqCount >= 0 && fqCount <= cfg.fetchQueueSize,
+               "fetch-queue count out of range: ", fqCount);
+    SIQ_ASSERT((fqHead + fqCount) % cfg.fetchQueueSize == fqTail,
+               "fetch-queue ring pointers inconsistent");
+
+    // rename discipline: every allocated physical register is
+    // referenced exactly once — by the map, or as the pending oldPdst
+    // release of exactly one in-flight ROB entry
+    const auto auditFile = [this](const RegFile &rf, int file) {
+        std::vector<int> refs(
+            static_cast<std::size_t>(rf.config().numPhys), 0);
+        for (int a = 0; a < rf.config().numArch; a++) {
+            const int p = rf.lookup(a);
+            SIQ_ASSERT(p >= 0 && p < rf.config().numPhys,
+                       "map entry out of range: ", p);
+            refs[p]++;
+        }
+        int idx = robHead;
+        for (int i = 0; i < robCount; i++) {
+            const RobCold &c = rob[idx];
+            if (c.dstFile == file && c.oldPdst >= 0)
+                refs[c.oldPdst]++;
+            idx = idx + 1 == cfg.robSize ? 0 : idx + 1;
+        }
+        int referenced = 0;
+        for (const int r : refs) {
+            SIQ_ASSERT(r <= 1, "physical register referenced ", r,
+                       " times");
+            referenced += r;
+        }
+        SIQ_ASSERT(referenced == rf.config().numPhys - rf.freeRegs(),
+                   "free list disagrees with reachable registers: ",
+                   referenced, " referenced, ", rf.freeRegs(),
+                   " free of ", rf.config().numPhys);
+        SIQ_ASSERT(referenced == rf.liveRegs(),
+                   "bank liveness disagrees with reachable registers");
+    };
+    auditFile(intRegs, 0);
+    auditFile(fpRegs, 1);
+
+    // LSQ population matches the in-flight memory ops exactly
+    int memOps = 0;
+    int idx = robHead;
+    for (int i = 0; i < robCount; i++) {
+        if (robHot[idx].flags & (robFlagLoad | robFlagStore))
+            memOps++;
+        idx = idx + 1 == cfg.robSize ? 0 : idx + 1;
+    }
+    SIQ_ASSERT(memOps == lsq.size(), "LSQ holds ", lsq.size(),
+               " entries but ", memOps, " memory ops are in flight");
+    SIQ_ASSERT(iq.validCount() <= robCount,
+               "more IQ entries than ROB entries");
 }
 
 void
@@ -649,6 +1000,16 @@ Core::maybeFastForward()
             return; // would fetch
         next = std::min(next, resume);
     }
+    // wrong-path fetch: fetchBlocked gates only the correct path; a
+    // gated (wpStalled) front end unblocks via the branch's
+    // completion event, already bounded above
+    if (wpActive && !wpStalled && fqCount < cfg.fetchQueueSize) {
+        const std::uint64_t resume =
+            std::max(fetchResumeCycle, icacheReadyCycle);
+        if (resume <= now)
+            return; // would fetch down the predicted path
+        next = std::min(next, resume);
+    }
 
     // a controller's limits may change at its next decision point,
     // unblocking dispatch: never jump past it
@@ -701,13 +1062,17 @@ Core::run(std::uint64_t maxInsts)
     std::uint64_t lastCommitted = start;
     std::uint64_t lastProgress = now;
     while (!coreHalted && _stats.committed - start < maxInsts) {
-        const std::uint64_t act0 = _stats.committed + _stats.fetched +
-                                   _stats.dispatched + _stats.issued +
-                                   _stats.hintsApplied;
+        const std::uint64_t act0 =
+            _stats.committed + _stats.fetched + _stats.dispatched +
+            _stats.issued + _stats.hintsApplied +
+            _stats.wrongPathFetched + _stats.wrongPathDispatched +
+            _stats.wrongPathIssued;
         tick();
-        const std::uint64_t act1 = _stats.committed + _stats.fetched +
-                                   _stats.dispatched + _stats.issued +
-                                   _stats.hintsApplied;
+        const std::uint64_t act1 =
+            _stats.committed + _stats.fetched + _stats.dispatched +
+            _stats.issued + _stats.hintsApplied +
+            _stats.wrongPathFetched + _stats.wrongPathDispatched +
+            _stats.wrongPathIssued;
         // a tick that did nothing usually starts a dead stretch
         // (cache miss, drain, decode bubble): prove it and jump it.
         // The gate is only a heuristic — maybeFastForward re-checks

@@ -5,11 +5,23 @@
  * Execute-at-fetch model: every fetched instruction is functionally
  * executed immediately (ExecContext), so values, addresses and branch
  * outcomes are oracle-known; the pipeline then models timing. On a
- * mispredicted branch, fetch stalls until the branch executes and
- * resumes on the correct path the following cycle (wrong-path
- * instructions are not fetched — a standard academic simplification
- * that is identical across all configurations; the penalty still
- * depends on IQ sizing because resolution time is simulated).
+ * mispredicted branch, the default (oracle) front end stalls fetch
+ * until the branch executes and resumes on the correct path the
+ * following cycle (wrong-path instructions are not fetched — a
+ * standard academic simplification that is identical across all
+ * configurations; the penalty still depends on IQ sizing because
+ * resolution time is simulated).
+ *
+ * With CoreConfig::specFrontEnd the front end instead keeps fetching
+ * down the predicted path after a mispredict (DESIGN.md §14):
+ * wrong-path instructions are functionally inert but rename, occupy
+ * fetch/IQ/ROB/LSQ slots, issue and pollute the caches; when the
+ * mispredicted branch completes, everything younger is squashed and
+ * the checkpointed rename maps, free lists and predictor history are
+ * restored. The correct-path instruction stream (interpreter or
+ * trace cursor) is never advanced by wrong-path fetch, so
+ * architectural results are unchanged — only timing and power see
+ * the speculation.
  *
  * Per-cycle stage order (reverse pipeline order so same-cycle
  * wakeup+select works as in the paper's figure 1, where producers
@@ -32,6 +44,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "cpu/bpred.hh"
@@ -79,6 +92,13 @@ struct CoreConfig
     };
     BpredConfig bpred;
     MemHierarchyConfig mem;
+    /**
+     * Speculative front end: fetch down predicted paths after a
+     * mispredict and squash at resolution instead of stalling fetch.
+     * Off by default — the oracle front end's counters are pinned by
+     * the determinism digest (tests/test_determinism_pin.cc).
+     */
+    bool specFrontEnd = false;
 };
 
 /** Aggregate core statistics (reset at end of warm-up). */
@@ -112,6 +132,20 @@ struct CoreStats
     std::uint64_t rfFpLiveSum = 0;
     std::uint64_t rfFpPoweredBankCycles = 0;
     std::uint64_t rfFpBankCycles = 0;
+    /// @name Speculative-front-end counters (zero in oracle mode).
+    /// Wrong-path work is kept out of the architectural counters
+    /// above (fetched/dispatched/issued/loads/stores count only the
+    /// correct path) but does contribute to the power-model activity
+    /// counters (RF reads/writes, IQ events, cache accesses) — that
+    /// activity is exactly what speculation costs.
+    /// @{
+    std::uint64_t wrongPathFetched = 0;
+    std::uint64_t wrongPathDispatched = 0;
+    std::uint64_t wrongPathIssued = 0;
+    std::uint64_t squashes = 0;       ///< resolved mispredict flushes
+    std::uint64_t squashCycles = 0;   ///< mispredict fetch→resolution
+    std::uint64_t squashedInsts = 0;  ///< pipeline entries flushed
+    /// @}
 
     double
     ipc() const
@@ -148,6 +182,8 @@ struct DynInst
     std::uint64_t decodeReadyCycle = 0;
     bool hintApplied = false;
     bool stallsFetch = false; ///< fetch resumes when this completes
+    bool wrongPath = false;   ///< speculative mode: fetched past a
+                              ///< mispredict; squashed at resolution
 };
 
 /** What the commit stage still needs of a ROB entry after dispatch
@@ -173,6 +209,20 @@ struct RobCold
  * had — so the swap is byte-identical for every architectural
  * counter. Slot vectors shrink by resize(), keeping their capacity:
  * steady-state operation never allocates.
+ *
+ * Squash invalidation (speculative front end): each event carries the
+ * generation of its ROB entry at scheduling time and popDue() hands
+ * it back with the index. The writeback stage compares it against the
+ * entry's current generation — a squash bumps the generation of every
+ * flushed entry, so stale events are discarded exactly when due, with
+ * no eager removal touching the per-cycle path. Validating at
+ * consumption (not inside popDue) also covers a squash that happens
+ * mid-writeback: events of the same cycle popped before the squash
+ * ran are re-checked against the bumped generations. The oracle front
+ * end never bumps a generation, making the mechanism byte-invisible
+ * there. nextDue() may report a stale event's cycle; the idle
+ * fast-forward then wakes to a cycle where nothing happens, which is
+ * safe (it re-proves idleness and jumps again).
  */
 class CompletionWheel
 {
@@ -182,15 +232,24 @@ class CompletionWheel
     void init(int maxLatency);
 
     void
-    schedule(std::uint64_t cycle, int robIdx)
+    schedule(std::uint64_t cycle, int robIdx, std::uint32_t gen)
     {
-        slots[cycle & mask].push_back({cycle, robIdx});
+        slots[cycle & mask].push_back({cycle, robIdx, gen});
         inFlight++;
     }
 
-    /** Move the ROB index of every event due at @p now into @p out
-     *  (cleared first), in scheduling order; later-lap events stay. */
-    void popDue(std::uint64_t now, std::vector<int> &out);
+    /** A due event: the ROB index plus the generation it was
+     *  scheduled under (the consumer validates against the current
+     *  generation before acting). */
+    struct Completion
+    {
+        int robIdx;
+        std::uint32_t gen;
+    };
+
+    /** Move every event due at @p now into @p out (cleared first),
+     *  in scheduling order; later-lap events stay. */
+    void popDue(std::uint64_t now, std::vector<Completion> &out);
 
     int numSlots() const { return static_cast<int>(slots.size()); }
 
@@ -210,6 +269,7 @@ class CompletionWheel
     {
         std::uint64_t cycle;
         int robIdx;
+        std::uint32_t gen;
     };
 
     std::vector<std::vector<Event>> slots;
@@ -223,6 +283,8 @@ constexpr std::uint8_t robFlagPipelined = 1 << 0;
 constexpr std::uint8_t robFlagLoad = 1 << 1;
 constexpr std::uint8_t robFlagStore = 1 << 2;
 constexpr std::uint8_t robFlagStallsFetch = 1 << 3;
+/** Speculative mode: fetched past a mispredict, never commits. */
+constexpr std::uint8_t robFlagWrongPath = 1 << 4;
 /// @}
 
 /**
@@ -298,6 +360,25 @@ class Core
     const ExecContext &exec() const { return *_exec; }
     std::uint64_t cycle() const { return now; }
 
+    /// @name Occupancy accessors (squash-recovery invariant tests).
+    /// @{
+    int robEntries() const { return robCount; }
+    int fetchQueueEntries() const { return fqCount; }
+    const Lsq &loadStoreQueue() const { return lsq; }
+    /// @}
+
+    /**
+     * Deep consistency audit of the rename/free-list/queue state
+     * (test support; SIQ_ASSERTs on violation). Verifies that the
+     * registers reachable from the rename maps plus the pending
+     * oldPdst releases of in-flight ROB entries account for exactly
+     * the allocated (non-free) population of each register file, and
+     * that ROB/fetch-queue ring counters are self-consistent. Called
+     * by the squash-recovery tests after every squash; cheap enough
+     * to call per-tick in Debug test runs.
+     */
+    void auditArchState() const;
+
   private:
     void commitStage();
     void writebackStage();
@@ -328,6 +409,39 @@ class Core
 
     void predictControl(DynInst &di, std::uint64_t actualNextPc,
                         std::uint64_t rasPushPc);
+
+    /// @name Speculative front end (cfg.specFrontEnd; DESIGN.md §14).
+    /// @{
+    /** Static location of one instruction, for wrong-path fetch. */
+    struct PcLoc
+    {
+        const StaticInst *si = nullptr;
+        int proc = 0;
+        int block = 0;
+        int instIdx = 0;
+    };
+
+    /** Arm wrong-path fetch at @p startPc (0 gates the front end)
+     *  after a mispredicted branch was fetched. */
+    void armWrongPath(std::uint64_t startPc);
+    /** Fetch stage while wrong-path fetch is active. */
+    void wrongPathFetchStage();
+    /** Predicted successor of a wrong-path instruction: where fetch
+     *  goes next (0: the front end must gate — misfetch, dead end or
+     *  a halt) and whether it ends the fetch group (taken control). */
+    struct WpNext
+    {
+        std::uint64_t pc = 0;
+        bool taken = false;
+    };
+    WpNext wrongPathNextPc(const PcLoc &loc);
+    /** Deterministic synthetic word address for wrong-path memory
+     *  ops (their oracle addresses don't exist). */
+    std::uint64_t wrongPathMemAddr(std::uint64_t pc) const;
+    /** Flush everything younger than the resolved mispredicted
+     *  branch and restore the checkpointed front-end state. */
+    void squashWrongPath();
+    /// @}
     int sourceHandle(int archReg, bool &ready) const;
     /** Units of @p fu still held by non-pipelined ops; the pruned
      *  count is memoized per cycle (prunes once, not per issue
@@ -368,6 +482,9 @@ class Core
     /** ROB-parallel dense arrays (§9.2). */
     std::vector<RobHot> robHot;
     std::vector<std::uint8_t> robCompleted;
+    /** Per-entry generation for wheel-event invalidation at squash
+     *  (never bumped in oracle mode). */
+    std::vector<std::uint32_t> robGen;
     int robHead = 0;
     int robTail = 0;
     int robCount = 0;
@@ -389,6 +506,36 @@ class Core
     bool fetchDone = false; ///< program fully fetched (halt seen)
     bool coreHalted = false;
 
+    /** PC → static location, built once at construction when the
+     *  speculative front end is enabled (wrong-path fetch resolves
+     *  predicted targets against it). */
+    std::unordered_map<std::uint64_t, PcLoc> pcIndex;
+    /** A mispredicted branch is in flight; fetch follows wpPc. */
+    bool wpActive = false;
+    /** Front end gated by a misfetch (empty RAS, cold BTB, dead
+     *  end); cleared only by the squash. */
+    bool wpStalled = false;
+    std::uint64_t wpPc = 0;
+    /**
+     * Checkpoint for squash recovery. Front-end state (predictor
+     * history, RAS, arm cycle) is captured when the mispredicted
+     * branch is fetched; rename maps, its ROB slot and the IQ tail
+     * when it dispatches — wrong-path instructions can only dispatch
+     * after it, so the maps are exact at that boundary. At most one
+     * checkpoint is ever live: mispredicts are detected at
+     * correct-path fetch, which is paused while wrong-path fetch
+     * runs (wrong-path branches never resolve, so they cannot nest).
+     */
+    struct SquashCheckpoint
+    {
+        std::uint64_t armCycle = 0;
+        int branchRobIdx = -1; ///< -1 until the branch dispatches
+        std::vector<int> intMap;
+        std::vector<int> fpMap;
+        BpredSnapshot bpred;
+    };
+    SquashCheckpoint ckpt;
+
     // busy-until cycles of units held by in-flight non-pipelined ops,
     // with a per-cycle memoized pruned count
     std::array<std::vector<std::uint64_t>, coreNumFuClasses>
@@ -398,7 +545,7 @@ class Core
 
     /** Reusable per-tick scratch arenas (cleared by index reset). */
     std::vector<IssueQueue::Candidate> readyScratch;
-    std::vector<int> wbScratch;
+    std::vector<CompletionWheel::Completion> wbScratch;
 
     // per-cycle signals for the resize controller
     ResizeSignals signals;

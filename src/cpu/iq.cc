@@ -180,6 +180,55 @@ IssueQueue::markIssued(int slot)
         advanceHead();
 }
 
+int
+IssueQueue::squashTail(int n)
+{
+    SIQ_ASSERT(n >= 0, "negative squash span");
+    // all still-valid squashed entries sit in the last
+    // min(n, regionLen) slots of the region: a surviving pre-squash
+    // entry further back would stretch the region past capacity
+    const int m = n < regionLen ? n : regionLen;
+    int newTail = tail - m;
+    if (newTail < 0)
+        newTail += cfg.numEntries;
+    int dropped = 0;
+    // counted walk: when the whole ring is squashed (m == numEntries)
+    // newTail equals tail and a pointer-inequality loop would see an
+    // empty span
+    int slot = newTail;
+    for (int i = 0; i < m; i++, slot = next(slot)) {
+        Entry &e = slots[slot];
+        if (!e.valid)
+            continue; // already issued before the squash
+        const int bank = slot / cfg.bankSize;
+        const int pending = (e.ready1 ? 0 : 1) + (e.ready2 ? 0 : 1);
+        bankPending[bank] -= pending;
+        pendingOps -= pending;
+        if (pending == 0)
+            readyRemove(slot); // only ready entries are in the set
+        e.valid = false;
+        e.robIdx = -1;
+        if (--bankValid[bank] == 0)
+            poweredBankCount--;
+        count--;
+        dropped++;
+    }
+    tail = newTail;
+    regionLen -= m;
+    if (newRegionLen >= m) {
+        newRegionLen -= m;
+    } else {
+        // new_head was inside the squashed span
+        newHead = tail;
+        newRegionLen = 0;
+    }
+    if (regionLen == 0) {
+        SIQ_ASSERT(count == 0, "empty region with valid entries");
+        head = tail;
+    }
+    return dropped;
+}
+
 void
 IssueQueue::advanceHead()
 {

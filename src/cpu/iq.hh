@@ -121,6 +121,18 @@ class IssueQueue
     void markIssued(int slot);
     /// @}
 
+    /**
+     * Squash the youngest dispatches (wrong-path recovery): undo the
+     * tail advances of the last @p n dispatch() calls, dropping any
+     * of their entries still valid. Entries of that span that already
+     * issued are holes and need no work; if every older entry has
+     * drained meanwhile (tail lapped the span), the region simply
+     * collapses to empty. Charges no issueReads — a flush clears
+     * valid bits, it does not read out operands.
+     * @return entries dropped (still-valid squashed instructions).
+     */
+    int squashTail(int n);
+
     /// @name Observation.
     /// @{
     int validCount() const { return count; }

@@ -77,4 +77,22 @@ Lsq::releaseHead(int idx)
     count--;
 }
 
+void
+Lsq::squashTail(int n)
+{
+    SIQ_ASSERT(n >= 0 && n <= count, "squashing more than the LSQ holds");
+    for (int i = 0; i < n; i++) {
+        tail = prev(tail);
+        Entry &e = entries[tail];
+        SIQ_ASSERT(e.valid, "squashing an empty LSQ slot");
+        if (e.isStore) {
+            numStores--;
+            if (!e.completed)
+                pendingStores--;
+        }
+        e.valid = false;
+        count--;
+    }
+}
+
 } // namespace siq

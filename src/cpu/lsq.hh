@@ -63,6 +63,15 @@ class Lsq
     /** Release the oldest entry (commit order). */
     void releaseHead(int idx);
 
+    /** Squash the @p n youngest entries (wrong-path recovery). */
+    void squashTail(int n);
+
+    /// @name Store population (squash-recovery invariant tests).
+    /// @{
+    int storeCount() const { return numStores; }
+    int pendingStoreCount() const { return pendingStores; }
+    /// @}
+
   private:
     struct Entry
     {

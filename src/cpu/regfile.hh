@@ -57,6 +57,29 @@ class RegFile
     /** Return @p phys to the free list (at commit of the redefiner). */
     void release(int phys);
 
+    /** Free-list population (squash-recovery invariant checks). */
+    int freeRegs() const { return freeCount; }
+
+    /// @name Rename-map checkpointing for wrong-path squash recovery.
+    /// The free list needs no snapshot: squash releases exactly the
+    /// fresh registers the squashed instructions renamed, and the
+    /// prior mappings written back here stayed live throughout (their
+    /// releases ride on commits that never happened).
+    /// @{
+    void
+    snapshotMap(std::vector<int> &out) const
+    {
+        out = mapTable;
+    }
+
+    void
+    restoreMap(const std::vector<int> &snap)
+    {
+        SIQ_ASSERT(snap.size() == mapTable.size());
+        mapTable = snap;
+    }
+    /// @}
+
     /// @name Bank occupancy (for the power model).
     /// @{
     int numBanks() const { return _numBanks; }

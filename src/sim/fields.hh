@@ -19,6 +19,19 @@
     X(rfIntLiveSum) X(rfIntPoweredBankCycles) X(rfIntBankCycles)         \
     X(rfFpLiveSum) X(rfFpPoweredBankCycles) X(rfFpBankCycles)
 
+/**
+ * Counters that are only nonzero when the speculative front end is
+ * enabled (CoreConfig::specFrontEnd). They live in CoreStats like any
+ * other counter — identicalMeasurement and replication aggregation
+ * cover them automatically — but the JSON/CSV writers emit them
+ * through this separate list so oracle-mode exports (all-zero spec
+ * block, elided) keep their historical bytes and the determinism-pin
+ * digest never moves.
+ */
+#define SIQ_CORE_SPEC_STATS_FIELDS(X)                                    \
+    X(wrongPathFetched) X(wrongPathDispatched) X(wrongPathIssued)        \
+    X(squashes) X(squashCycles) X(squashedInsts)
+
 #define SIQ_IQ_EVENT_FIELDS(X)                                           \
     X(broadcasts) X(cmpGated) X(cmpPowered) X(cmpConventional)           \
     X(dispatchWrites) X(issueReads) X(poweredBankCycles)                 \

@@ -55,6 +55,14 @@ appendCellJson(std::ostream &os, const RunResult &r)
     sep = ",";
     SIQ_CORE_STATS_FIELDS(X)
 #undef X
+    // speculative-front-end counters: nonzero-only, so oracle-mode
+    // exports keep their historical bytes (and the determinism-pin
+    // digest) — the same schema-evolution pattern as traceSeconds
+#define X(f)                                                             \
+    if (r.stats.f != 0)                                                  \
+        os << ",\"" #f "\":" << r.stats.f;
+    SIQ_CORE_SPEC_STATS_FIELDS(X)
+#undef X
     os << "},\"iq\":{";
     sep = "";
 #define X(f)                                                             \
@@ -97,6 +105,12 @@ cellFromJson(const JsonValue &v)
 #define X(f) r.stats.f = stats.at(#f).asU64();
     SIQ_CORE_STATS_FIELDS(X)
 #undef X
+    // optional: absent whenever zero (always, in oracle mode)
+#define X(f)                                                             \
+    if (const JsonValue *sv = stats.find(#f))                            \
+        r.stats.f = sv->asU64();
+    SIQ_CORE_SPEC_STATS_FIELDS(X)
+#undef X
 #define X(f) r.iq.f = iq.at(#f).asU64();
     SIQ_IQ_EVENT_FIELDS(X)
 #undef X
@@ -135,6 +149,16 @@ appendAggJson(std::ostream &os, const CellAggregate &agg)
     sep = ",";
     SIQ_CORE_STATS_FIELDS(X)
 #undef X
+    // spec counters are non-negative, so an all-zero replica set has
+    // mean 0: gate on it to keep oracle aggregate bytes unchanged
+#define X(f)                                                             \
+    if (agg.stats_##f.mean != 0.0) {                                     \
+        os << sep;                                                       \
+        appendMetricJson(os, #f, agg.stats_##f);                         \
+        sep = ",";                                                       \
+    }
+    SIQ_CORE_SPEC_STATS_FIELDS(X)
+#undef X
     os << "},\"iq\":{";
     sep = "";
 #define X(f)                                                             \
@@ -166,6 +190,11 @@ aggFromJson(const JsonValue &v)
     const JsonValue &iq = v.at("iq");
 #define X(f) agg.stats_##f = metricFromJson(stats.at(#f));
     SIQ_CORE_STATS_FIELDS(X)
+#undef X
+#define X(f)                                                             \
+    if (const JsonValue *sv = stats.find(#f))                            \
+        agg.stats_##f = metricFromJson(*sv);
+    SIQ_CORE_SPEC_STATS_FIELDS(X)
 #undef X
 #define X(f) agg.iq_##f = metricFromJson(iq.at(#f));
     SIQ_IQ_EVENT_FIELDS(X)
@@ -309,12 +338,24 @@ void
 writeCsv(std::ostream &os, const SweepResult &result)
 {
     const bool agg = !result.aggregates.empty();
+    // speculative-front-end columns appear only when some cell ran
+    // with the real front end, so oracle-mode CSVs keep their
+    // historical bytes (same reasoning as the aggregate columns)
+    bool spec = false;
+    for (const RunResult &r : result.cells) {
+#define X(f) spec = spec || r.stats.f != 0;
+        SIQ_CORE_SPEC_STATS_FIELDS(X)
+#undef X
+    }
     os << "benchmark,technique,family";
 #define X(f) os << "," #f;
     SIQ_RUN_TIMING_FIELDS(X)
 #undef X
 #define X(f) os << ",stats_" #f;
     SIQ_CORE_STATS_FIELDS(X)
+    if (spec) {
+        SIQ_CORE_SPEC_STATS_FIELDS(X)
+    }
 #undef X
 #define X(f) os << ",iq_" #f;
     SIQ_IQ_EVENT_FIELDS(X)
@@ -329,6 +370,9 @@ writeCsv(std::ostream &os, const SweepResult &result)
 #define X(f)                                                             \
     os << ",stats_" #f "_mean,stats_" #f "_stddev,stats_" #f "_ci95";
         SIQ_CORE_STATS_FIELDS(X)
+        if (spec) {
+            SIQ_CORE_SPEC_STATS_FIELDS(X)
+        }
 #undef X
 #define X(f) os << ",iq_" #f "_mean,iq_" #f "_stddev,iq_" #f "_ci95";
         SIQ_IQ_EVENT_FIELDS(X)
@@ -344,6 +388,9 @@ writeCsv(std::ostream &os, const SweepResult &result)
 #undef X
 #define X(f) os << ',' << r.stats.f;
         SIQ_CORE_STATS_FIELDS(X)
+        if (spec) {
+            SIQ_CORE_SPEC_STATS_FIELDS(X)
+        }
 #undef X
 #define X(f) os << ',' << r.iq.f;
         SIQ_IQ_EVENT_FIELDS(X)
@@ -361,6 +408,9 @@ writeCsv(std::ostream &os, const SweepResult &result)
             metric(a.ipc);
 #define X(f) metric(a.stats_##f);
             SIQ_CORE_STATS_FIELDS(X)
+            if (spec) {
+                SIQ_CORE_SPEC_STATS_FIELDS(X)
+            }
 #undef X
 #define X(f) metric(a.iq_##f);
             SIQ_IQ_EVENT_FIELDS(X)
@@ -403,6 +453,9 @@ readCsv(std::istream &is)
     };
 
     const bool agg = col.find("n") != col.end();
+    // spec-mode CSVs (real front end) carry the speculation columns;
+    // oracle-mode ones omit them entirely
+    const bool spec = col.find("stats_wrongPathFetched") != col.end();
 
     SweepResult result;
     while (std::getline(is, line)) {
@@ -434,6 +487,9 @@ readCsv(std::istream &is)
         r.compile.seconds = r.compileSeconds;
 #define X(f) r.stats.f = u64("stats_" #f);
         SIQ_CORE_STATS_FIELDS(X)
+        if (spec) {
+            SIQ_CORE_SPEC_STATS_FIELDS(X)
+        }
 #undef X
 #define X(f) r.iq.f = u64("iq_" #f);
         SIQ_IQ_EVENT_FIELDS(X)
@@ -457,6 +513,9 @@ readCsv(std::istream &is)
             a.ipc = metric("ipc");
 #define X(f) a.stats_##f = metric("stats_" #f);
             SIQ_CORE_STATS_FIELDS(X)
+            if (spec) {
+                SIQ_CORE_SPEC_STATS_FIELDS(X)
+            }
 #undef X
 #define X(f) a.iq_##f = metric("iq_" #f);
             SIQ_IQ_EVENT_FIELDS(X)
@@ -565,8 +624,12 @@ appendCoreConfigJson(std::ostream &os, const CoreConfig &c)
        << ",\"selectorEntries\":" << c.bpred.selectorEntries
        << ",\"btbEntries\":" << c.bpred.btbEntries
        << ",\"btbAssoc\":" << c.bpred.btbAssoc
-       << ",\"rasEntries\":" << c.bpred.rasEntries << "}"
-       << ",\"mem\":{\"l1i\":";
+       << ",\"rasEntries\":" << c.bpred.rasEntries << "}";
+    // present only when enabled, so oracle-mode exports (and the
+    // determinism-pin digest over them) keep their historical bytes
+    if (c.specFrontEnd)
+        os << ",\"specFrontEnd\":true";
+    os << ",\"mem\":{\"l1i\":";
     appendCacheConfigJson(os, c.mem.l1i);
     os << ",\"l1d\":";
     appendCacheConfigJson(os, c.mem.l1d);
@@ -610,6 +673,8 @@ coreConfigFromJson(const JsonValue &v)
         static_cast<std::uint32_t>(bp.at("btbAssoc").asU64());
     c.bpred.rasEntries =
         static_cast<std::uint32_t>(bp.at("rasEntries").asU64());
+    if (const JsonValue *sfe = v.find("specFrontEnd"))
+        c.specFrontEnd = sfe->asBool();
     const JsonValue &mem = v.at("mem");
     c.mem.l1i = cacheConfigFromJson(mem.at("l1i"));
     c.mem.l1d = cacheConfigFromJson(mem.at("l1d"));

@@ -166,6 +166,7 @@ aggregateReplicas(const RunResult *reps, std::size_t n)
         w.sample(static_cast<double>(reps[r].stats.f));                  \
     agg.stats_##f = summarize(w);
     SIQ_CORE_STATS_FIELDS(X)
+    SIQ_CORE_SPEC_STATS_FIELDS(X)
 #undef X
 #define X(f)                                                             \
     w.reset();                                                           \

@@ -156,6 +156,7 @@ struct CellAggregate
     std::uint64_t n = 0; ///< replicas folded in
 #define X(f) MetricAggregate stats_##f;
     SIQ_CORE_STATS_FIELDS(X)
+    SIQ_CORE_SPEC_STATS_FIELDS(X)
 #undef X
 #define X(f) MetricAggregate iq_##f;
     SIQ_IQ_EVENT_FIELDS(X)

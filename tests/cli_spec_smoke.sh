@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the speculative front end through the CLI: one
+# speculative-mode cell per technique, run through the checkpointed
+# path, with every export round-tripping byte-exactly — and the
+# --speculative toggle actually speculating (nonzero squash counters
+# in the JSON) while leaving oracle-mode spec bytes untouched.
+#
+# Usage: cli_spec_smoke.sh /path/to/siqsim
+set -euo pipefail
+
+SIQSIM=${1:?usage: cli_spec_smoke.sh /path/to/siqsim}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/siqsim_spec_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+# --speculative is carried in the spec JSON; without the flag the
+# spec must not mention it at all (schema evolution: oracle-mode
+# exports keep their historical bytes)
+"$SIQSIM" spec --workloads perlbmk --techniques all \
+    --warmup 2000 --measure 10000 --rep-divisor 40 \
+    --out oracle_spec.json
+if grep -q specFrontEnd oracle_spec.json; then
+    echo "oracle spec must not carry specFrontEnd" >&2
+    exit 1
+fi
+
+"$SIQSIM" spec --workloads perlbmk --techniques all \
+    --warmup 2000 --measure 10000 --rep-divisor 40 --speculative \
+    --out spec.json
+grep -q '"specFrontEnd":true' spec.json
+
+# one speculative cell per technique: direct run vs checkpointed run
+# + merge must produce byte-identical canonical exports
+"$SIQSIM" run --spec spec.json --json direct.json --csv direct.csv \
+    --power-csv direct_power.csv
+"$SIQSIM" run --spec spec.json --ckpt ckpt
+"$SIQSIM" merge ckpt --json merged.json --csv merged.csv \
+    --power-csv merged_power.csv
+cmp direct.json merged.json
+cmp direct.csv merged.csv
+cmp direct_power.csv merged_power.csv
+
+# every technique's cell actually speculated: perlbmk's indirect
+# dispatch guarantees mispredicts, so each of the 6 cells must carry
+# nonzero wrong-path and squash counters
+test "$(grep -o '"wrongPathFetched":[1-9]' direct.json | wc -l)" -eq 6
+test "$(grep -o '"squashes":[1-9]' direct.json | wc -l)" -eq 6
+test "$(grep -o '"squashedInsts":[1-9]' direct.json | wc -l)" -eq 6
+# and the CSV carries the speculation columns
+grep -q 'stats_wrongPathFetched' direct.csv
+
+# oracle-mode exports must not mention speculation at all
+"$SIQSIM" run --spec oracle_spec.json --json oracle.json \
+    --csv oracle.csv
+if grep -q 'wrongPathFetched\|"squashes"' oracle.json oracle.csv; then
+    echo "oracle-mode exports must not carry speculation fields" >&2
+    exit 1
+fi
+
+echo "cli_spec_smoke: OK"

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "cpu/core.hh"
 #include "ir/exec.hh"
 #include "workloads/builder.hh"
@@ -273,22 +275,32 @@ TEST(Core, FunctionalMatchUnderManyConfigs)
     expectFunctionalMatch(prog, narrow);
 }
 
+/** Project popped completions onto their ROB indices. */
+std::vector<int>
+poppedIdxs(const std::vector<CompletionWheel::Completion> &out)
+{
+    std::vector<int> idxs;
+    for (const auto &c : out)
+        idxs.push_back(c.robIdx);
+    return idxs;
+}
+
 TEST(CompletionWheel, PreservesSchedulingOrderWithinACycle)
 {
     CompletionWheel w;
     w.init(12);
-    std::vector<int> out;
-    w.schedule(3, 7);
-    w.schedule(3, 1);
-    w.schedule(5, 2);
+    std::vector<CompletionWheel::Completion> out;
+    w.schedule(3, 7, 0);
+    w.schedule(3, 1, 0);
+    w.schedule(5, 2, 0);
     w.popDue(2, out);
     EXPECT_TRUE(out.empty());
     w.popDue(3, out);
-    EXPECT_EQ(out, (std::vector<int>{7, 1}));
+    EXPECT_EQ(poppedIdxs(out), (std::vector<int>{7, 1}));
     w.popDue(4, out);
     EXPECT_TRUE(out.empty());
     w.popDue(5, out);
-    EXPECT_EQ(out, (std::vector<int>{2}));
+    EXPECT_EQ(poppedIdxs(out), (std::vector<int>{2}));
 }
 
 TEST(CompletionWheel, BeyondHorizonEventsPopOnTheRightLap)
@@ -296,19 +308,41 @@ TEST(CompletionWheel, BeyondHorizonEventsPopOnTheRightLap)
     CompletionWheel w;
     w.init(4); // bit_ceil(6) = 8 slots
     ASSERT_EQ(w.numSlots(), 8);
-    std::vector<int> out;
+    std::vector<CompletionWheel::Completion> out;
     // a near event and an event three laps out share slot 3
-    w.schedule(3, 11);
-    w.schedule(3 + 8 * 3, 9);
+    w.schedule(3, 11, 0);
+    w.schedule(3 + 8 * 3, 9, 0);
     w.popDue(3, out);
-    EXPECT_EQ(out, (std::vector<int>{11}))
+    EXPECT_EQ(poppedIdxs(out), (std::vector<int>{11}))
         << "the far event must survive its slot's earlier laps";
     for (std::uint64_t c = 4; c < 27; c++) {
         w.popDue(c, out);
         EXPECT_TRUE(out.empty()) << "cycle " << c;
     }
     w.popDue(27, out);
-    EXPECT_EQ(out, (std::vector<int>{9}));
+    EXPECT_EQ(poppedIdxs(out), (std::vector<int>{9}));
+}
+
+TEST(CompletionWheel, GenerationsRoundTripForConsumerValidation)
+{
+    // the wheel never interprets generations — it hands each one back
+    // with its event so the consumer can reject stale (squashed)
+    // completions, including events of the very cycle a squash runs
+    CompletionWheel w;
+    w.init(8);
+    std::vector<CompletionWheel::Completion> out;
+    w.schedule(4, 5, 1);
+    w.schedule(4, 5, 2); // same entry, re-dispatched under a new gen
+    w.schedule(4, 6, 7);
+    w.popDue(4, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].robIdx, 5);
+    EXPECT_EQ(out[0].gen, 1u);
+    EXPECT_EQ(out[1].robIdx, 5);
+    EXPECT_EQ(out[1].gen, 2u);
+    EXPECT_EQ(out[2].robIdx, 6);
+    EXPECT_EQ(out[2].gen, 7u);
+    EXPECT_TRUE(w.empty());
 }
 
 TEST(CompletionWheel, LongLatencyConfigStillSimulatesCorrectly)
@@ -319,6 +353,233 @@ TEST(CompletionWheel, LongLatencyConfigStillSimulatesCorrectly)
     CoreConfig cfg;
     cfg.mem.memLatency = 9000;
     expectFunctionalMatch(prog, cfg);
+}
+
+// ------------------------------------------------------------------
+// Speculative front end (CoreConfig::specFrontEnd, DESIGN.md §14)
+// ------------------------------------------------------------------
+
+/** Data-dependent 50/50 branches on LCG noise: a mispredict mill. */
+Program
+noisyBranches(int iters)
+{
+    ProgramBuilder b("noisy", 256);
+    b.newProc("main");
+    b.emit(makeMovImm(4, 12345));
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, iters));
+    auto loop = b.beginLoop(1, 2);
+    b.emit(makeMovImm(5, 6364136223846793005ll));
+    b.emit(makeMul(4, 4, 5));
+    b.emit(makeAddImm(4, 4, 1442695040888963407ll));
+    b.emit(makeShr(6, 4, 62));
+    b.emit(makeMovImm(7, 2));
+    auto d = b.beginIf(makeBlt(6, 7, -1));
+    b.emit(makeAddImm(8, 8, 1));
+    b.elseBranch(d);
+    b.emit(makeAddImm(8, 8, 2));
+    b.joinUp(d);
+    b.endLoop(loop);
+    b.emit(makeMovImm(9, 8));
+    b.emit(makeStore(9, 8, 0));
+    b.emit(makeHalt());
+    return b.build();
+}
+
+/** LCG-driven indirect jumps, calls/returns, noisy branches and
+ *  stores: every mispredict flavour (direction, RAS, BTB) plus
+ *  wrong-path memory traffic. */
+Program
+mixedMispredicts(int iters)
+{
+    ProgramBuilder b("mixed", 4096);
+    const int leaf = b.newProc("leaf");
+    b.emit(makeAddImm(9, 9, 1));
+    b.emit(makeRet());
+    const int mainP = b.newProc("main");
+    b.emit(makeMovImm(4, 99999));
+    b.emit(makeMovImm(1, 0));
+    b.emit(makeMovImm(2, iters));
+    b.emit(makeMovImm(10, 64)); // store base
+    auto loop = b.beginLoop(1, 2);
+    b.emit(makeMovImm(5, 6364136223846793005ll));
+    b.emit(makeMul(4, 4, 5));
+    b.emit(makeAddImm(4, 4, 1442695040888963407ll));
+    b.emit(makeShr(6, 4, 62)); // 0..3
+    auto sw = b.beginSwitch(6, 4);
+    for (std::size_t c = 0; c < sw.cases.size(); c++) {
+        b.switchTo(sw.cases[c]);
+        b.emit(makeAddImm(8, 8, static_cast<std::int64_t>(c) + 1));
+        b.emit(makeStore(10, 8, static_cast<std::int64_t>(c)));
+        b.emit(makeLoad(11, 10, static_cast<std::int64_t>(c)));
+        b.jumpTo(sw.join);
+    }
+    b.switchTo(sw.join);
+    b.callProc(leaf);
+    b.emit(makeMovImm(7, 2));
+    auto d = b.beginIf(makeBlt(6, 7, -1));
+    b.emit(makeAddImm(8, 8, 1));
+    b.elseBranch(d);
+    b.emit(makeAddImm(8, 8, 2));
+    b.joinUp(d);
+    b.endLoop(loop);
+    b.emit(makeStore(10, 8, 100));
+    b.emit(makeHalt());
+    Program prog = b.build();
+    prog.entryProc = mainP;
+    return prog;
+}
+
+TEST(SpecFrontEnd, FunctionalMatchWithNonzeroSpeculationCounters)
+{
+    CoreConfig cfg;
+    cfg.specFrontEnd = true;
+    const Program prog = noisyBranches(2000);
+    expectFunctionalMatch(prog, cfg);
+
+    Core core(prog, cfg);
+    core.run(1u << 24);
+    ASSERT_TRUE(core.done());
+    const auto &s = core.stats();
+    EXPECT_GT(s.squashes, 100u);
+    EXPECT_GT(s.wrongPathFetched, 0u);
+    EXPECT_GT(s.wrongPathDispatched, 0u);
+    EXPECT_GT(s.wrongPathIssued, 0u);
+    EXPECT_GT(s.squashCycles, s.squashes)
+        << "resolution takes more than one cycle per mispredict";
+    EXPECT_GT(s.squashedInsts, 0u);
+}
+
+TEST(SpecFrontEnd, ArchitecturalCountersMatchOracleExactly)
+{
+    // wrong-path work must be invisible to every architectural
+    // counter: the squash restores the predictor (history + RAS,
+    // and the BTB is never trained on the wrong path), so the
+    // correct-path prediction sequence — and with it each of these
+    // counters — is the oracle's, bit for bit
+    const Program prog = mixedMispredicts(600);
+    CoreConfig oracleCfg;
+    Core oracle(prog, oracleCfg);
+    oracle.run(1u << 24);
+    CoreConfig specCfg;
+    specCfg.specFrontEnd = true;
+    Core spec(prog, specCfg);
+    spec.run(1u << 24);
+    ASSERT_TRUE(oracle.done());
+    ASSERT_TRUE(spec.done());
+    const auto &o = oracle.stats();
+    const auto &s = spec.stats();
+    EXPECT_EQ(s.committed, o.committed);
+    EXPECT_EQ(s.fetched, o.fetched);
+    EXPECT_EQ(s.dispatched, o.dispatched);
+    EXPECT_EQ(s.issued, o.issued);
+    EXPECT_EQ(s.loads, o.loads);
+    EXPECT_EQ(s.stores, o.stores);
+    EXPECT_EQ(s.hintsApplied, o.hintsApplied);
+    EXPECT_EQ(s.condBranches, o.condBranches);
+    EXPECT_EQ(s.branchMispredicts, o.branchMispredicts);
+    EXPECT_EQ(s.frontRedirects, o.frontRedirects);
+    EXPECT_EQ(s.squashes, s.branchMispredicts)
+        << "every resolved mispredict squashes exactly once";
+    EXPECT_EQ(o.wrongPathFetched, 0u);
+    EXPECT_EQ(o.squashes, 0u);
+}
+
+/** Squash-visible machine state, digested at each squash. */
+struct SquashObs
+{
+    std::uint64_t cycle;
+    std::uint64_t committed;
+    std::uint64_t squashedInsts;
+    int robEntries;
+    int fqEntries;
+    int iqValid;
+    int lsqSize;
+    int intFree;
+    int fpFree;
+
+    bool operator==(const SquashObs &) const = default;
+};
+
+/** Tick @p core until done, auditing the rename/free-list/queue
+ *  invariants every cycle and recording machine state at each
+ *  squash. */
+std::vector<SquashObs>
+runAudited(Core &core, std::uint64_t maxCycles)
+{
+    std::vector<SquashObs> obs;
+    std::uint64_t squashes = 0;
+    while (!core.done()) {
+        core.tick();
+        core.auditArchState();
+        const auto &s = core.stats();
+        if (s.squashes != squashes) {
+            squashes = s.squashes;
+            obs.push_back({core.cycle(), s.committed, s.squashedInsts,
+                           core.robEntries(),
+                           core.fetchQueueEntries(),
+                           core.issueQueue().validCount(),
+                           core.loadStoreQueue().size(),
+                           core.intRegFile().freeRegs(),
+                           core.fpRegFile().freeRegs()});
+        }
+        if (core.cycle() >= maxCycles)
+            break;
+    }
+    return obs;
+}
+
+TEST(SpecFrontEnd, SquashRecoveryInvariantsHoldOverAThousandSquashes)
+{
+    // after every squash (randomized by LCG-driven direction, RAS and
+    // BTB mispredicts) the rename maps, free lists and queues must be
+    // exactly consistent — and a from-scratch replay must pass
+    // through identical machine states at every squash point
+    CoreConfig cfg;
+    cfg.specFrontEnd = true;
+    std::uint64_t totalSquashes = 0;
+    for (const Program &prog :
+         {noisyBranches(1200), mixedMispredicts(700)}) {
+        Core first(prog, cfg);
+        const auto obs1 = runAudited(first, 1u << 22);
+        ASSERT_TRUE(first.done());
+        totalSquashes += obs1.size();
+
+        Core again(prog, cfg);
+        const auto obs2 = runAudited(again, 1u << 22);
+        ASSERT_EQ(obs1.size(), obs2.size());
+        for (std::size_t i = 0; i < obs1.size(); i++) {
+            EXPECT_EQ(obs1[i], obs2[i]) << "squash " << i;
+        }
+
+        // recovery is complete: the drained machine holds nothing
+        EXPECT_EQ(first.robEntries(), 0);
+        EXPECT_EQ(first.fetchQueueEntries(), 0);
+        EXPECT_EQ(first.loadStoreQueue().size(), 0);
+        EXPECT_EQ(first.issueQueue().validCount(), 0);
+    }
+    EXPECT_GE(totalSquashes, 1000u);
+}
+
+TEST(SpecFrontEnd, ReplayedTraceMatchesDirectInterpretation)
+{
+    // trace-replay and direct interpretation must stay measurement-
+    // identical with speculation on: wrong-path fetch never consumes
+    // the functional stream
+    const auto prog =
+        std::make_shared<const Program>(noisyBranches(800));
+    CoreConfig cfg;
+    cfg.specFrontEnd = true;
+
+    FuncTrace trace(prog);
+    Core direct(*prog, cfg);
+    direct.run(1u << 24);
+    Core replayed(*prog, cfg, nullptr, &trace);
+    replayed.run(1u << 24);
+    ASSERT_TRUE(direct.done());
+    ASSERT_TRUE(replayed.done());
+    EXPECT_TRUE(direct.stats() == replayed.stats());
+    EXPECT_EQ(direct.cycle(), replayed.cycle());
 }
 
 } // namespace

@@ -18,14 +18,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <iomanip>
+#include <map>
 #include <sstream>
 #include <string>
 #include <string_view>
 
 #include "sim/report.hh"
 #include "sim/sweep.hh"
+#include "workloads/family.hh"
 
 namespace siq
 {
@@ -116,6 +120,157 @@ TEST(DeterminismPin, DigestIsReproducibleAcrossRunnersAndJobs)
 
     EXPECT_EQ(fnv1a64(ja.str()), fnv1a64(jb.str()));
     EXPECT_EQ(ja.str(), jb.str());
+}
+
+/**
+ * Second pinned grid: the parameterized families (specfp/server/
+ * phased) at their registry-default parameters, which the original
+ * pin predates. Same tiny budgets, same regeneration policy as
+ * kGoldenDigest.
+ */
+sim::SweepSpec
+parameterizedPinnedSpec()
+{
+    sim::SweepSpec spec = pinnedSpec();
+    spec.benchmarks = {"specfp", "server", "phased"};
+    return spec;
+}
+
+/** Generated at the PR 8 commit that introduced this pin (oracle
+ *  front end; the families themselves predate it unchanged). */
+constexpr std::uint64_t kParameterizedGoldenDigest =
+    0x0aa6f08251d3a7efull;
+
+TEST(DeterminismPin, ParameterizedFamiliesMatchGoldenDigest)
+{
+    sim::ExperimentRunner runner;
+    sim::SweepResult result = runner.run(parameterizedPinnedSpec());
+    sim::canonicalize(result);
+
+    std::ostringstream json;
+    sim::writeJson(json, result);
+    const std::uint64_t digest = fnv1a64(json.str());
+
+    EXPECT_EQ(digest, kParameterizedGoldenDigest)
+        << "canonical sweep JSON changed: actual digest is "
+        << hex(digest) << " (golden "
+        << hex(kParameterizedGoldenDigest) << ").\n"
+        << "Same policy as kGoldenDigest: update only for intended "
+           "behavior/schema changes, and call it out in the PR.";
+}
+
+// --------------------------------------------------------------------
+// Speculative front end: not digest-pinned (its counters are new),
+// but it must be exactly as deterministic as the oracle mode.
+// --------------------------------------------------------------------
+
+sim::SweepSpec
+speculativeSpec()
+{
+    sim::SweepSpec spec = pinnedSpec();
+    spec.base.core.specFrontEnd = true;
+    return spec;
+}
+
+std::string
+canonicalJson(const sim::SweepResult &r)
+{
+    sim::SweepResult copy = r;
+    sim::canonicalize(copy);
+    std::ostringstream json;
+    sim::writeJson(json, copy);
+    return json.str();
+}
+
+/** Wrong-path fetch, squash recovery and the speculation counters
+ *  must be a pure function of the spec — worker count must not leak
+ *  into them (the same property the oracle digest pin enforces). */
+TEST(DeterminismPin, SpeculativeModeIsSeedDeterministicAcrossJobs)
+{
+    auto spec = speculativeSpec();
+    spec.jobs = 1;
+    sim::ExperimentRunner a;
+    const std::string ja = canonicalJson(a.run(spec));
+
+    spec.jobs = 4;
+    sim::ExperimentRunner b;
+    const std::string jb = canonicalJson(b.run(spec));
+
+    EXPECT_EQ(fnv1a64(ja), fnv1a64(jb));
+    EXPECT_EQ(ja, jb);
+}
+
+/** Replaying a recorded functional trace must be measurement-
+ *  indistinguishable from direct interpretation in speculative mode
+ *  too — wrong-path fetch never consumes the functional stream, so
+ *  the trace substitution stays invisible. */
+TEST(DeterminismPin, SpeculativeModeTraceReplayMatchesDirect)
+{
+    const char *old = std::getenv("SIQSIM_TRACE");
+    const std::string saved = old ? old : "";
+
+    ::setenv("SIQSIM_TRACE", "0", 1);
+    sim::ExperimentRunner direct;
+    const std::string jd = canonicalJson(direct.run(speculativeSpec()));
+
+    ::setenv("SIQSIM_TRACE", "1", 1);
+    sim::ExperimentRunner replay;
+    const std::string jr = canonicalJson(replay.run(speculativeSpec()));
+
+    if (old)
+        ::setenv("SIQSIM_TRACE", saved.c_str(), 1);
+    else
+        ::unsetenv("SIQSIM_TRACE");
+
+    EXPECT_EQ(jd, jr);
+}
+
+/** Every registered family must run to completion under the real
+ *  front end with every technique, and every technique must actually
+ *  speculate over the sweep: nonzero mispredicts, wrong-path fetches
+ *  and squashes in the measured region. (Per-cell nonzero would be
+ *  wrong: specfp and phased are regular loop nests whose branches the
+ *  warmed hybrid predicts perfectly at these budgets — their zero
+ *  mispredict counts are real behavior, not missing coverage.) */
+TEST(DeterminismPin, SpeculativeSweepCoversAllFamiliesWithSquashes)
+{
+    sim::SweepSpec spec = speculativeSpec();
+    spec.benchmarks = workloads::familyNames();
+    spec.seeds = 1;
+    spec.jobs = 4;
+    sim::ExperimentRunner runner;
+    const sim::SweepResult result = runner.run(spec);
+
+    ASSERT_EQ(result.cells.size(),
+              spec.benchmarks.size() * spec.techniques.size());
+    std::map<std::string, CoreStats> byTech;
+    for (const sim::RunResult &r : result.cells) {
+        SCOPED_TRACE(r.benchmark + "/" + r.technique);
+        EXPECT_GT(r.stats.committed, 0u);
+        // one checkpointed recovery per mispredicted branch — up to
+        // off-by-one at each end of the measured region (a mispredict
+        // armed before the post-warmup stats reset resolves inside
+        // it, and one armed near the end may not resolve at all; at
+        // most one mispredict is ever outstanding)
+        const std::uint64_t hi =
+            std::max(r.stats.squashes, r.stats.branchMispredicts);
+        const std::uint64_t lo =
+            std::min(r.stats.squashes, r.stats.branchMispredicts);
+        EXPECT_LE(hi - lo, 1u);
+        CoreStats &t = byTech[r.technique];
+        t.branchMispredicts += r.stats.branchMispredicts;
+        t.wrongPathFetched += r.stats.wrongPathFetched;
+        t.squashes += r.stats.squashes;
+        t.squashedInsts += r.stats.squashedInsts;
+    }
+    ASSERT_EQ(byTech.size(), spec.techniques.size());
+    for (const auto &[tech, t] : byTech) {
+        SCOPED_TRACE(tech);
+        EXPECT_GT(t.branchMispredicts, 0u);
+        EXPECT_GT(t.wrongPathFetched, 0u);
+        EXPECT_GT(t.squashes, 0u);
+        EXPECT_GT(t.squashedInsts, 0u);
+    }
 }
 
 } // namespace
